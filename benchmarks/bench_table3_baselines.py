@@ -1,0 +1,93 @@
+"""Table III — accuracy of the four top baselines (AEL/IPLoM/Spell/Drain).
+
+Reruns the Zhu et al. comparison on the synthetic datasets with the
+reimplemented baselines, printing measured accuracy next to the paper's
+Table III values.
+
+Shape targets asserted:
+
+* Drain ranks best on average (the paper's headline finding);
+* the full ordering Drain > IPLoM/AEL > Spell holds on average;
+* every baseline average lands within ±0.08 of the paper's value.
+"""
+
+import pytest
+
+from repro.baselines import ALL_BASELINES
+from repro.loghub import DATASET_NAMES, evaluate_baseline, load_dataset
+
+#: Table III averages from the paper.
+PAPER_AVG = {"AEL": 0.754, "IPLoM": 0.777, "Spell": 0.751, "Drain": 0.865}
+
+#: Per-dataset values from the paper's Table III.
+PAPER = {
+    "HDFS": (0.998, 1.0, 1.0, 0.998),
+    "Hadoop": (0.538, 0.954, 0.778, 0.948),
+    "Spark": (0.905, 0.920, 0.905, 0.920),
+    "Zookeeper": (0.921, 0.962, 0.964, 0.967),
+    "OpenStack": (0.758, 0.871, 0.764, 0.733),
+    "BGL": (0.758, 0.939, 0.787, 0.963),
+    "HPC": (0.903, 0.824, 0.654, 0.887),
+    "Thunderbird": (0.941, 0.663, 0.844, 0.955),
+    "Windows": (0.690, 0.567, 0.989, 0.997),
+    "Linux": (0.673, 0.672, 0.605, 0.690),
+    "Mac": (0.764, 0.673, 0.757, 0.787),
+    "Android": (0.682, 0.712, 0.919, 0.911),
+    "HealthApp": (0.568, 0.822, 0.639, 0.780),
+    "Apache": (1.0, 1.0, 1.0, 1.0),
+    "OpenSSH": (0.538, 0.802, 0.554, 0.788),
+    "Proxifier": (0.518, 0.515, 0.527, 0.527),
+}
+
+ORDER = ("AEL", "IPLoM", "Spell", "Drain")
+
+_SCORES: dict[tuple[str, str], float] = {}
+
+
+@pytest.mark.parametrize("algo", ORDER)
+def test_table3_algorithm(benchmark, algo):
+    datasets = [load_dataset(name) for name in DATASET_NAMES]
+
+    def evaluate():
+        return [
+            evaluate_baseline(ALL_BASELINES[algo](), dataset)
+            for dataset in datasets
+        ]
+
+    scores = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    for name, score in zip(DATASET_NAMES, scores):
+        _SCORES[(name, algo)] = score
+        assert 0.0 <= score <= 1.0
+
+
+def test_table3_summary(table_writer, benchmark):
+    if len(_SCORES) < len(ORDER) * len(DATASET_NAMES):
+        pytest.skip("per-algorithm evaluations did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    for name in DATASET_NAMES:
+        row = [name]
+        for i, algo in enumerate(ORDER):
+            row.append(f"{_SCORES[(name, algo)]:.3f} ({PAPER[name][i]:.3f})")
+        rows.append(row)
+    averages = {
+        algo: sum(_SCORES[(n, algo)] for n in DATASET_NAMES) / 16 for algo in ORDER
+    }
+    rows.append(
+        ["Average"]
+        + [f"{averages[a]:.3f} ({PAPER_AVG[a]:.3f})" for a in ORDER]
+    )
+    table_writer(
+        "table3_baselines.md",
+        ["Dataset"] + [f"{a} (paper)" for a in ORDER],
+        rows,
+    )
+
+    # Drain is the best average performer — the paper's headline result
+    assert max(averages, key=averages.get) == "Drain"
+    # Spell trails the other three, as in the paper
+    assert min(averages, key=averages.get) == "Spell"
+    # absolute averages stay in the paper's neighbourhood
+    for algo in ORDER:
+        assert abs(averages[algo] - PAPER_AVG[algo]) < 0.08, (algo, averages[algo])

@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper and, in
+addition to the pytest-benchmark timing, writes the measured values next
+to the paper's values into ``results/`` so EXPERIMENTS.md can be checked
+against fresh runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def table_writer(results_dir):
+    """Write a Markdown table into results/ and echo it to stdout."""
+
+    def write(name: str, header: list[str], rows: list[list]) -> str:
+        path = os.path.join(results_dir, name)
+        lines = ["| " + " | ".join(header) + " |",
+                 "|" + "|".join("---" for _ in header) + "|"]
+        lines += ["| " + " | ".join(str(c) for c in row) + " |" for row in rows]
+        text = "\n".join(lines) + "\n"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"\n--- {name} ---")
+        print(text)
+        return path
+
+    return write

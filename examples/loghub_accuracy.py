@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Grouping-accuracy evaluation on a LogHub-style dataset (paper §IV).
+
+Loads the synthetic OpenSSH dataset (2,000 labelled lines), runs the
+Sequence-RTG pipeline on both the pre-processed and the raw variant, and
+compares against the Drain baseline — a one-dataset slice of the paper's
+Table II/III methodology.
+
+Run:  python examples/loghub_accuracy.py [dataset]
+"""
+
+import sys
+
+from repro.baselines import Drain
+from repro.loghub import (
+    DATASET_NAMES,
+    evaluate_baseline,
+    evaluate_sequence_rtg,
+    load_dataset,
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "OpenSSH"
+    if name not in DATASET_NAMES:
+        raise SystemExit(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+
+    dataset = load_dataset(name)
+    print(f"dataset {name}: {len(dataset.lines)} lines, {dataset.n_events} events")
+    print("\nsample lines:")
+    for line in dataset.lines[:3]:
+        print(f"  [{line.event_id}] {line.raw[:100]}")
+
+    pre = evaluate_sequence_rtg(dataset, mode="preprocessed")
+    raw = evaluate_sequence_rtg(dataset, mode="raw")
+    drain = evaluate_baseline(Drain(), dataset)
+
+    print(f"\ngrouping accuracy (methodology of Zhu et al.):")
+    print(f"  Sequence-RTG, pre-processed : {pre:.3f}")
+    print(f"  Sequence-RTG, raw logs      : {raw:.3f}")
+    print(f"  Drain (best baseline)       : {drain:.3f}")
+    print(
+        "\nNote: Sequence-RTG needs no pre-processing — the raw score is"
+        "\nthe one a production deployment gets for free."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Deployment simulation — the Fig. 7 experiment at example scale.
+
+Simulates the CC-IN2P3 workflow after the integration of Sequence-RTG
+(paper Fig. 6): syslog-ng routes a multi-service stream against its
+pattern database, unmatched messages are mined in batches, and every few
+days the administrators review and promote the strongest patterns.  The
+unmatched fraction starts at 75-80% (only the hand-maintained patterns
+match) and falls towards ~15% as promotions accumulate, never reaching
+zero because services keep shipping new log events.
+
+Run:  python examples/production_simulation.py [days]
+"""
+
+import sys
+
+from repro.workflow import ProductionSimulation, SimulationConfig, StreamConfig
+
+
+def bar(fraction: float, width: int = 40) -> str:
+    filled = round(fraction * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    days = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    config = SimulationConfig(
+        days=days,
+        msgs_per_day=(4_000, 5_500),  # paper: 70-100M, scaled for an example
+        batch_size=500,  # paper: 100,000
+        stream=StreamConfig(n_services=120),
+    )
+    sim = ProductionSimulation(config)
+
+    print(f"bootstrapping hand-maintained patterndb "
+          f"(target coverage ~{config.initial_coverage:.0%}) ...")
+    history = sim.run()
+
+    print("\nday  unmatched  " + " " * 34 + "promoted  patterndb")
+    for stats in history:
+        marker = f"  +{stats.n_promoted}" if stats.n_promoted else ""
+        print(
+            f"{stats.day:3d}  {stats.unmatched_fraction:8.1%}  "
+            f"|{bar(stats.unmatched_fraction)}|  "
+            f"{stats.n_promoted:5d}  {stats.patterndb_size:6d}{marker and ''}"
+        )
+
+    first, last = history[0], history[-1]
+    print(
+        f"\nunmatched fraction: {first.unmatched_fraction:.0%} (day 1) -> "
+        f"{last.unmatched_fraction:.0%} (day {last.day})"
+    )
+    print(
+        f"avg analysis time per batch on the final day: "
+        f"{last.analysis_seconds / max(1, last.n_batches):.2f}s; "
+        f"batch fill time {history[0].batch_fill_minutes:.0f} -> "
+        f"{last.batch_fill_minutes:.0f} simulated minutes"
+    )
+    print(f"documents indexed in simulated Elasticsearch: {sim.es.total_documents()}")
+
+
+if __name__ == "__main__":
+    main()

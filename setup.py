@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP-517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .``, which falls back automatically on some pips) use
+the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

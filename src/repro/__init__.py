@@ -1,0 +1,73 @@
+"""Sequence-RTG: efficient and production-ready pattern mining in system logs.
+
+Reproduction of Harding, Wernli & Suter, HPCMASPA @ IEEE CLUSTER 2021
+(DOI 10.1109/Cluster48925.2021.00090).
+
+Quickstart
+----------
+>>> from repro import SequenceRTG, LogRecord
+>>> rtg = SequenceRTG()
+>>> records = [
+...     LogRecord("sshd", f"Accepted password for user{i} from 10.0.0.{i} port {2200+i} ssh2")
+...     for i in range(6)
+... ]
+>>> result = rtg.analyze_by_service(records)
+>>> result.new_patterns[0].text
+'Accepted password for %alphanum% from %srcip% port %srcport% ssh2'
+
+Package map
+-----------
+``repro.scanner``     single-pass tokeniser (3+1 finite state machines)
+``repro.analyzer``    trie-based pattern discovery
+``repro.parser``      pattern matching
+``repro.core``        Sequence-RTG pipeline, pattern DB, ingester, exporters
+``repro.baselines``   Drain / IPLoM / Spell / AEL reimplementations
+``repro.loghub``      synthetic LogHub datasets + grouping-accuracy evaluation
+``repro.workflow``    production workflow simulation (syslog-ng / Elasticsearch)
+"""
+
+from repro.analyzer import (
+    Analyzer,
+    AnalyzerConfig,
+    LegacyAnalyzer,
+    Pattern,
+    PatternToken,
+    VarClass,
+)
+from repro.core import (
+    BatchResult,
+    LogRecord,
+    PatternDB,
+    RTGConfig,
+    SequenceRTG,
+    StreamIngester,
+)
+from repro.core.export import export_patterns
+from repro.parser import MatchResult, Parser
+from repro.scanner import ScannedMessage, Scanner, ScannerConfig, Token, TokenType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SequenceRTG",
+    "RTGConfig",
+    "BatchResult",
+    "LogRecord",
+    "PatternDB",
+    "StreamIngester",
+    "export_patterns",
+    "Scanner",
+    "ScannerConfig",
+    "ScannedMessage",
+    "Token",
+    "TokenType",
+    "Analyzer",
+    "AnalyzerConfig",
+    "LegacyAnalyzer",
+    "Pattern",
+    "PatternToken",
+    "VarClass",
+    "Parser",
+    "MatchResult",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Small shared utilities used across the Sequence-RTG reproduction."""
+
+from repro._util.hashing import pattern_id
+from repro._util.sampling import ZipfSampler
+from repro._util.timers import StageTimer
+
+__all__ = ["pattern_id", "ZipfSampler", "StageTimer"]

@@ -1,0 +1,26 @@
+"""Reproducible pattern identifiers.
+
+The paper requires pattern ids that are *unique and reproducible* per
+(pattern, service) pair so that independent Sequence-RTG instances and
+re-executions assign the same id to the same pattern.  Following §III
+("Making Patterns and Statistics Persistent") the id is the SHA1 hash of
+the concatenated pattern text and service name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["pattern_id"]
+
+
+def pattern_id(pattern_text: str, service: str) -> str:
+    """Return the reproducible SHA1 id for *pattern_text* owned by *service*.
+
+    >>> pattern_id("%action% from %srcip% port %srcport%", "sshd")[:8]
+    '6c047a5a'
+    """
+    digest = hashlib.sha1()
+    digest.update(pattern_text.encode("utf-8"))
+    digest.update(service.encode("utf-8"))
+    return digest.hexdigest()

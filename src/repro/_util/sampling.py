@@ -1,0 +1,56 @@
+"""Deterministic sampling helpers for synthetic workloads.
+
+Log template popularity in production systems is heavily skewed: a few
+templates dominate the stream while a long tail appears only a handful of
+times.  The workload generators model this with a Zipf distribution whose
+probabilities are precomputed so sampling is O(log n) per draw via
+cumulative-weight bisection.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from collections.abc import Sequence
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Sample indices ``0..n-1`` with probability proportional to ``1/(i+1)^s``.
+
+    The sampler owns its own :class:`random.Random` so that independent
+    generators with the same seed produce identical streams regardless of
+    global RNG state.
+    """
+
+    def __init__(self, n: int, s: float = 1.2, seed: int = 0) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if s < 0:
+            raise ValueError(f"zipf exponent must be non-negative, got {s}")
+        self.n = n
+        self.s = s
+        self._rng = random.Random(seed)
+        weights = [1.0 / (i + 1) ** s for i in range(n)]
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self) -> int:
+        """Draw one index."""
+        x = self._rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, x)
+
+    def sample_many(self, k: int) -> list[int]:
+        """Draw *k* indices."""
+        return [self.sample() for _ in range(k)]
+
+    def probabilities(self) -> Sequence[float]:
+        """Return the exact probability of each index (sums to 1)."""
+        probs = []
+        prev = 0.0
+        for c in self._cumulative:
+            probs.append((c - prev) / self._total)
+            prev = c
+        return probs

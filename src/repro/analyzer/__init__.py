@@ -1,0 +1,31 @@
+"""Pattern analysis substrate (the *Sequence* analyser).
+
+The analyser builds a trie over scanned token sequences, merges tokens at
+the same level that share the same parent and children into variables,
+detects key/value pairs, e-mail addresses and host names at analysis time
+(paper §III), and emits :class:`~repro.analyzer.pattern.Pattern` objects.
+
+Two analysers are provided:
+
+* :class:`Analyzer` — Sequence-RTG mode: operates on a single partition
+  (one service, one token length) with linear-time sibling merging and
+  constant folding of single-valued variables (quality-control fix for
+  limitation 4).
+* :class:`LegacyAnalyzer` — seminal Sequence ``Analyze``: one trie for
+  the whole data set regardless of service or length, with the original
+  pairwise same-level comparison whose cost grows super-linearly with
+  trie width (the behaviour visible in the paper's Fig. 5).
+"""
+
+from repro.analyzer.analyzer import Analyzer, AnalyzerConfig, LegacyAnalyzer
+from repro.analyzer.pattern import Pattern, PatternToken, UnknownTagError, VarClass
+
+__all__ = [
+    "Analyzer",
+    "AnalyzerConfig",
+    "LegacyAnalyzer",
+    "Pattern",
+    "PatternToken",
+    "UnknownTagError",
+    "VarClass",
+]

@@ -1,0 +1,136 @@
+"""Semantic variable naming.
+
+Sequence names pattern variables after their role when the surrounding
+static text gives it away, producing patterns like the paper's example::
+
+    %action% from %srcip% port %srcport%
+
+The heuristics here reproduce that behaviour: direction context is
+tracked through ``from``/``to`` literals, well-known count/identifier
+keywords name the integer that follows them, a merged-string variable in
+leading position is the message's ``action``, and key/value variables are
+named after their key.  Names are de-duplicated with numeric suffixes so
+exports (Grok field names, syslog-ng parser names) stay unambiguous.
+"""
+
+from __future__ import annotations
+
+from repro.analyzer.pattern import PatternToken, VarClass
+
+__all__ = ["assign_names"]
+
+# literal (lowercased) → direction context it establishes
+_DIRECTION_WORDS = {
+    "from": "src",
+    "src": "src",
+    "source": "src",
+    "client": "src",
+    "to": "dst",
+    "dst": "dst",
+    "destination": "dst",
+    "server": "dst",
+}
+
+# literal immediately before an integer variable → semantic name stem
+_INTEGER_KEYWORDS = {
+    "port": "port",
+    "pid": "pid",
+    "uid": "uid",
+    "gid": "gid",
+    "size": "size",
+    "bytes": "size",
+    "count": "count",
+    "ttl": "count",
+}
+
+# literal immediately before a string variable → semantic name
+_STRING_KEYWORDS = {
+    "user": "user",
+    "username": "user",
+    "status": "status",
+    "state": "status",
+    "reason": "reason",
+}
+
+
+def _sanitize(name: str) -> str:
+    """Restrict a key-derived name to tag-safe characters."""
+    cleaned = "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+    cleaned = cleaned.strip("_").lower()
+    return cleaned or "value"
+
+
+def assign_names(
+    tokens: list[PatternToken], semantics: list[str | None] | None = None
+) -> None:
+    """Assign semantic names to the variables of *tokens* in place.
+
+    *semantics* optionally carries per-position semantic tags collected by
+    the analyser (key names from key/value detection), aligned with
+    *tokens*.
+    """
+    direction = "src"
+    prev_literal = ""
+    first_content = True
+    used: dict[str, int] = {}
+
+    for i, tok in enumerate(tokens):
+        if not tok.is_variable:
+            word = tok.text.lower()
+            if word in _DIRECTION_WORDS:
+                direction = _DIRECTION_WORDS[word]
+            if any(c.isalnum() for c in tok.text):
+                prev_literal = word
+                first_content = False
+            continue
+
+        semantic = semantics[i] if semantics else None
+        name = _name_for(tok, prev_literal, direction, first_content, semantic)
+        tok.name = _dedupe(name, used)
+        prev_literal = ""
+        first_content = False
+
+
+def _name_for(
+    tok: PatternToken,
+    prev_literal: str,
+    direction: str,
+    first_content: bool,
+    semantic: str | None,
+) -> str:
+    vc = tok.var_class
+    if semantic:
+        return _sanitize(semantic)
+    if vc is VarClass.IPV4 or vc is VarClass.IPV6:
+        if prev_literal in _DIRECTION_WORDS:
+            return f"{direction}ip"
+        return vc.value
+    if vc is VarClass.HOST:
+        if prev_literal in _DIRECTION_WORDS:
+            return f"{direction}host"
+        return "host"
+    if vc is VarClass.INTEGER:
+        stem = _INTEGER_KEYWORDS.get(prev_literal)
+        if stem == "port":
+            return f"{direction}port"
+        if stem:
+            return stem
+        return "integer"
+    if vc in (VarClass.STRING, VarClass.ALNUM):
+        if prev_literal in _STRING_KEYWORDS:
+            return _STRING_KEYWORDS[prev_literal]
+        if first_content and vc is VarClass.STRING:
+            # a variable opening the message is the action word(s)
+            return "action"
+        return "alphanum" if vc is VarClass.ALNUM else "string"
+    # time, url, mac, float, path, email, rest: base tag
+    return vc.value if vc is not VarClass.TIME else "msgtime"
+
+
+def _dedupe(name: str, used: dict[str, int]) -> str:
+    """First occurrence keeps the bare name; repeats get 1, 2, ... suffixes."""
+    count = used.get(name, 0)
+    used[name] = count + 1
+    if count == 0:
+        return name
+    return f"{name}{count}"

@@ -1,0 +1,328 @@
+"""Pattern data model.
+
+A pattern is a sequence of static and variable parts against which new
+log messages are matched (paper §I).  Sequence renders patterns as clear
+strings with variables delimited by ``%``::
+
+    %action% from %srcip% port %srcport%
+
+This module defines the structured form (:class:`Pattern`,
+:class:`PatternToken`), the variable-class vocabulary (:class:`VarClass`),
+rendering in both Sequence-RTG exact-whitespace mode and the seminal
+Sequence always-insert-a-space mode (limitation 3), parsing of pattern
+text back to structure, and the documented ``%`` unknown-tag hazard
+(:class:`UnknownTagError`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro._util.hashing import pattern_id
+from repro.scanner.token_types import TokenType
+
+__all__ = [
+    "VarClass",
+    "PatternToken",
+    "Pattern",
+    "UnknownTagError",
+    "BASE_TAGS",
+    "SEMANTIC_TAGS",
+]
+
+
+class VarClass(enum.Enum):
+    """Class of a pattern variable — what kind of token it matches."""
+
+    STRING = "string"  # any single token
+    ALNUM = "alphanum"  # identifier mixing letters and digits
+    INTEGER = "integer"
+    FLOAT = "float"
+    IPV4 = "ipv4"
+    IPV6 = "ipv6"
+    MAC = "mac"
+    TIME = "msgtime"
+    URL = "url"
+    PATH = "path"
+    EMAIL = "email"
+    HOST = "host"
+    REST = "ignorerest"  # ignore everything after this point
+
+
+#: Variable class for each scan/analysis-time token type.
+_TOKEN_TO_VAR = {
+    TokenType.INTEGER: VarClass.INTEGER,
+    TokenType.FLOAT: VarClass.FLOAT,
+    TokenType.IPV4: VarClass.IPV4,
+    TokenType.IPV6: VarClass.IPV6,
+    TokenType.MAC: VarClass.MAC,
+    TokenType.TIME: VarClass.TIME,
+    TokenType.URL: VarClass.URL,
+    TokenType.PATH: VarClass.PATH,
+    TokenType.EMAIL: VarClass.EMAIL,
+    TokenType.HOST: VarClass.HOST,
+    TokenType.VALUE: VarClass.STRING,
+    TokenType.REST: VarClass.REST,
+}
+
+
+def var_class_for(token_type: TokenType) -> VarClass:
+    """Variable class corresponding to a typed token."""
+    try:
+        return _TOKEN_TO_VAR[token_type]
+    except KeyError:
+        raise ValueError(f"token type {token_type} is not a variable type") from None
+
+
+#: Base tag name for each variable class (the ``%tag%`` rendering).
+BASE_TAGS: dict[VarClass, str] = {v: v.value for v in VarClass}
+
+#: Semantic tag names the analyser may assign, with their classes.  These
+#: are the names appearing in the paper's example pattern.
+SEMANTIC_TAGS: dict[str, VarClass] = {
+    "srcip": VarClass.IPV4,
+    "dstip": VarClass.IPV4,
+    "srcport": VarClass.INTEGER,
+    "dstport": VarClass.INTEGER,
+    "port": VarClass.INTEGER,
+    "pid": VarClass.INTEGER,
+    "uid": VarClass.INTEGER,
+    "gid": VarClass.INTEGER,
+    "size": VarClass.INTEGER,
+    "count": VarClass.INTEGER,
+    "duration": VarClass.FLOAT,
+    "action": VarClass.STRING,
+    "user": VarClass.STRING,
+    "status": VarClass.STRING,
+    "level": VarClass.STRING,
+    "sessionid": VarClass.ALNUM,
+    "object": VarClass.STRING,
+    "reason": VarClass.STRING,
+    "srcemail": VarClass.EMAIL,
+    "dstemail": VarClass.EMAIL,
+    "srchost": VarClass.HOST,
+    "dsthost": VarClass.HOST,
+}
+
+#: All tags the parser understands (base + semantic + numbered variants of
+#: either, which are validated structurally).
+_KNOWN_BASE = set(BASE_TAGS.values()) | set(SEMANTIC_TAGS)
+
+
+def _resolve_tag(name: str) -> "VarClass | None":
+    """Resolve a ``%name%`` tag to its variable class.
+
+    Numeric disambiguation suffixes are stripped one digit at a time and
+    every prefix is tried, so both ``integer2`` → ``integer`` and
+    ``ipv41`` → ``ipv4`` (a *second* IPv4 variable) resolve correctly.
+    """
+    candidate = name
+    while True:
+        if candidate in SEMANTIC_TAGS:
+            return SEMANTIC_TAGS[candidate]
+        if candidate in _BASE_BY_VALUE:
+            return _BASE_BY_VALUE[candidate]
+        if candidate and candidate[-1].isdigit():
+            candidate = candidate[:-1]
+        else:
+            return None
+
+
+_BASE_BY_VALUE = {v.value: v for v in VarClass}
+
+
+def _static_pieces(word: str) -> list[str]:
+    """Split a space-free static word the way the scanner would."""
+    from repro.scanner.scanner import Scanner
+
+    global _SHARED_SCANNER
+    try:
+        scanner = _SHARED_SCANNER
+    except NameError:
+        scanner = _SHARED_SCANNER = Scanner()
+    return [t.text for t in scanner.scan(word).tokens]
+
+
+class UnknownTagError(ValueError):
+    """Raised when pattern text contains a ``%tag%`` the parser does not know.
+
+    The paper documents this hazard (§IV "Limitations"): log messages may
+    contain fields delimited by the ``%`` sign, which Sequence uses to
+    delimit its tokens; if those survive into a pattern as static text
+    they cause an unknown-tag error at parsing time.
+    """
+
+
+@dataclass(slots=True)
+class PatternToken:
+    """One element of a pattern: either static text or a variable."""
+
+    is_variable: bool
+    text: str = ""  # static text when not a variable
+    var_class: VarClass | None = None
+    name: str = ""  # rendered tag name, e.g. "srcip"
+    is_space_before: bool = True
+
+    @classmethod
+    def static(cls, text: str, is_space_before: bool = True) -> "PatternToken":
+        return cls(is_variable=False, text=text, is_space_before=is_space_before)
+
+    @classmethod
+    def variable(
+        cls, var_class: VarClass, name: str = "", is_space_before: bool = True
+    ) -> "PatternToken":
+        return cls(
+            is_variable=True,
+            var_class=var_class,
+            name=name or BASE_TAGS[var_class],
+            is_space_before=is_space_before,
+        )
+
+    def render(self) -> str:
+        if self.is_variable:
+            return f"%{self.name}%"
+        return self.text
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for database storage."""
+        if self.is_variable:
+            return {
+                "v": 1,
+                "class": self.var_class.value,
+                "name": self.name,
+                "sp": int(self.is_space_before),
+            }
+        return {"v": 0, "text": self.text, "sp": int(self.is_space_before)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PatternToken":
+        if d["v"]:
+            return cls(
+                is_variable=True,
+                var_class=VarClass(d["class"]),
+                name=d["name"],
+                is_space_before=bool(d["sp"]),
+            )
+        return cls(is_variable=False, text=d["text"], is_space_before=bool(d["sp"]))
+
+
+@dataclass(slots=True)
+class Pattern:
+    """A discovered pattern plus its bookkeeping metadata."""
+
+    tokens: list[PatternToken]
+    service: str = ""
+    support: int = 0  # number of messages matched since discovery
+    examples: list[str] = field(default_factory=list)  # up to 3 unique examples
+
+    # ------------------------------------------------------------------
+    @property
+    def text(self) -> str:
+        """Sequence-RTG rendering with exact whitespace reconstruction."""
+        return self.render(exact_spacing=True)
+
+    def render(self, exact_spacing: bool = True) -> str:
+        """Render the pattern string.
+
+        ``exact_spacing=False`` reproduces seminal Sequence's behaviour of
+        inserting a whitespace between every pair of tokens regardless of
+        the original spacing (limitation 3); ``True`` is the Sequence-RTG
+        fix driven by ``is_space_before``.
+        """
+        parts: list[str] = []
+        for i, tok in enumerate(self.tokens):
+            if i > 0 and (tok.is_space_before or not exact_spacing):
+                parts.append(" ")
+            parts.append(tok.render())
+        return "".join(parts)
+
+    @property
+    def id(self) -> str:
+        """Reproducible SHA1 id over pattern text + service (paper §III)."""
+        return pattern_id(self.text, self.service)
+
+    @property
+    def complexity(self) -> float:
+        """Fraction of variable tokens — the pattern-quality guide.
+
+        Patterns consisting entirely of variables (complexity 1.0) are
+        "often overly patternised, thus increasing their probability of
+        being impractical" (paper §III); exports can filter on this.
+        """
+        if not self.tokens:
+            return 1.0
+        n_var = sum(1 for t in self.tokens if t.is_variable)
+        return n_var / len(self.tokens)
+
+    @property
+    def n_variables(self) -> int:
+        return sum(1 for t in self.tokens if t.is_variable)
+
+    def add_example(self, message: str, limit: int = 3) -> bool:
+        """Record *message* as an example if new and under the limit.
+
+        The paper stores "up to three unique examples for each pattern
+        which are used as test cases for the syslog-ng pattern database".
+        """
+        if message in self.examples or len(self.examples) >= limit:
+            return False
+        self.examples.append(message)
+        return True
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_text(cls, text: str, service: str = "") -> "Pattern":
+        """Parse a rendered pattern string back into structure.
+
+        Tags are ``%name%`` where *name* is a base tag, a semantic tag, or
+        either followed by a numeric disambiguation suffix.  Any other
+        ``%...%`` token raises :class:`UnknownTagError` — the documented
+        behaviour when ``%``-delimited source fields leak into patterns.
+        """
+        tokens: list[PatternToken] = []
+        for i, word in enumerate(text.split(" ")):
+            if not word:
+                continue
+            sp = i > 0
+            if len(word) >= 3 and word.startswith("%") and word.endswith("%"):
+                name = word[1:-1]
+                vc = _resolve_tag(name)
+                if vc is None:
+                    raise UnknownTagError(
+                        f"unknown tag %{name}% in pattern {text!r}"
+                    )
+                tokens.append(
+                    PatternToken(
+                        is_variable=True, var_class=vc, name=name, is_space_before=sp
+                    )
+                )
+            elif "%" in word and word.count("%") >= 2:
+                # embedded %...% inside a larger word is still a hazard
+                raise UnknownTagError(f"unknown tag in pattern word {word!r}")
+            else:
+                # split static words exactly the way the scanner splits
+                # messages, so "panic:" in pattern text matches the two
+                # message tokens "panic" and ":"
+                for j, piece in enumerate(_static_pieces(word)):
+                    tokens.append(
+                        PatternToken.static(piece, is_space_before=sp and j == 0)
+                    )
+        return cls(tokens=tokens, service=service)
+
+    def to_dict(self) -> dict:
+        return {
+            "service": self.service,
+            "support": self.support,
+            "examples": list(self.examples),
+            "tokens": [t.to_dict() for t in self.tokens],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Pattern":
+        return cls(
+            tokens=[PatternToken.from_dict(t) for t in d["tokens"]],
+            service=d.get("service", ""),
+            support=d.get("support", 0),
+            examples=list(d.get("examples", [])),
+        )

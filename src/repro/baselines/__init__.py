@@ -1,0 +1,26 @@
+"""Baseline log parsers (paper §V / Table III).
+
+From-scratch reimplementations of the four top performers of the Zhu et
+al. ICSE-SEIP 2019 benchmark, which the paper compares Sequence-RTG
+against:
+
+* :class:`Drain` — online fixed-depth parse tree (He et al., ICWS 2017);
+* :class:`IPLoM` — iterative partitioning (Makanju et al., KDD 2009);
+* :class:`Spell` — streaming longest-common-subsequence (Du & Li, ICDM 2016);
+* :class:`AEL` — anonymize/tokenize/categorize heuristics (Jiang et al.,
+  QSIC 2008).
+
+All share :class:`LogParserBase`: ``fit(messages)`` assigns a cluster id
+to every message and exposes the mined templates, which is exactly what
+the grouping-accuracy evaluation needs.
+"""
+
+from repro.baselines.ael import AEL
+from repro.baselines.base import LogParserBase
+from repro.baselines.drain import Drain
+from repro.baselines.iplom import IPLoM
+from repro.baselines.spell import Spell
+
+__all__ = ["LogParserBase", "Drain", "IPLoM", "Spell", "AEL", "ALL_BASELINES"]
+
+ALL_BASELINES = {"AEL": AEL, "IPLoM": IPLoM, "Spell": Spell, "Drain": Drain}

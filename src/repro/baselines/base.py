@@ -1,0 +1,43 @@
+"""Common interface for the baseline log parsers.
+
+The Zhu et al. benchmark feeds each parser the *content* of 2,000 log
+lines (header stripped, common fields optionally pre-processed to
+``<*>``) and scores the resulting grouping.  The base class fixes that
+contract: :meth:`fit` consumes the message list and returns one cluster
+id per message; :meth:`templates` exposes the mined template strings for
+inspection.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["LogParserBase", "WILDCARD", "merge_template"]
+
+#: wildcard token marking a variable position, as used by logparser
+WILDCARD = "<*>"
+
+
+def merge_template(template: list[str], tokens: list[str]) -> list[str]:
+    """Position-wise template update: differing tokens become wildcards."""
+    return [
+        t if t == tok else WILDCARD
+        for t, tok in zip(template, tokens)
+    ]
+
+
+class LogParserBase(abc.ABC):
+    """A log parser that clusters messages into event templates."""
+
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._templates: list[list[str]] = []
+
+    @abc.abstractmethod
+    def fit(self, messages: list[str]) -> list[int]:
+        """Cluster *messages*; return a cluster id for each message."""
+
+    def templates(self) -> list[str]:
+        """Mined template strings, indexed by cluster id."""
+        return [" ".join(t) for t in self._templates]

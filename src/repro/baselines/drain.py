@@ -1,0 +1,114 @@
+"""Drain: online log parsing with a fixed-depth tree.
+
+Reimplementation of He et al., "Drain: An Online Log Parsing Approach
+with Fixed Depth Tree" (ICWS 2017) — the best average performer in the
+Zhu et al. benchmark (Table III of the Sequence-RTG paper).
+
+Structure: the first tree level routes on token count, the next
+``depth - 2`` levels route on the leading tokens (tokens containing
+digits route to a ``<*>`` child, and a ``maxChildren`` cap funnels
+unseen tokens to ``<*>`` as well), and leaves hold log groups.  A new
+message joins the most similar group at its leaf when the token-wise
+similarity reaches ``st``, updating the group template position-wise;
+otherwise it starts a new group.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import WILDCARD, LogParserBase, merge_template
+
+__all__ = ["Drain"]
+
+
+class _Group:
+    __slots__ = ("template", "cluster_id")
+
+    def __init__(self, template: list[str], cluster_id: int) -> None:
+        self.template = template
+        self.cluster_id = cluster_id
+
+
+class _Node:
+    __slots__ = ("children", "groups")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _Node] = {}
+        self.groups: list[_Group] = []
+
+
+def _has_digit(token: str) -> bool:
+    return any(c.isdigit() for c in token)
+
+
+class Drain(LogParserBase):
+    """Fixed-depth-tree online parser."""
+
+    name = "Drain"
+
+    def __init__(
+        self, depth: int = 4, st: float = 0.4, max_children: int = 100
+    ) -> None:
+        super().__init__()
+        if depth < 3:
+            raise ValueError(f"depth must be >= 3, got {depth}")
+        if not 0.0 <= st <= 1.0:
+            raise ValueError(f"st must be in [0, 1], got {st}")
+        self.depth = depth  # total tree depth including length and leaf
+        self.st = st
+        self.max_children = max_children
+        self._root = _Node()
+
+    # ------------------------------------------------------------------
+    def fit(self, messages: list[str]) -> list[int]:
+        assignments: list[int] = []
+        for message in messages:
+            tokens = message.split()
+            group = self._insert(tokens)
+            assignments.append(group.cluster_id)
+        return assignments
+
+    # ------------------------------------------------------------------
+    def _insert(self, tokens: list[str]) -> _Group:
+        leaf = self._route(tokens)
+        best, best_sim = None, -1.0
+        for group in leaf.groups:
+            sim = self._similarity(group.template, tokens)
+            if sim > best_sim:
+                best, best_sim = group, sim
+        if best is not None and best_sim >= self.st:
+            merged = merge_template(best.template, tokens)
+            if merged != best.template:
+                best.template = merged
+                self._templates[best.cluster_id] = merged
+            return best
+        cluster_id = len(self._templates)
+        self._templates.append(list(tokens))
+        group = _Group(list(tokens), cluster_id)
+        leaf.groups.append(group)
+        return group
+
+    def _route(self, tokens: list[str]) -> _Node:
+        """Walk length level + (depth - 2) token levels to a leaf node."""
+        node = self._root.children.setdefault(str(len(tokens)), _Node())
+        internal_levels = self.depth - 2
+        for i in range(min(internal_levels, len(tokens))):
+            token = tokens[i]
+            if _has_digit(token):
+                token = WILDCARD
+            child = node.children.get(token)
+            if child is None:
+                if token != WILDCARD and len(node.children) >= self.max_children:
+                    token = WILDCARD
+                child = node.children.setdefault(token, _Node())
+            node = child
+        return node
+
+    @staticmethod
+    def _similarity(template: list[str], tokens: list[str]) -> float:
+        """simSeq of the paper: equal-token fraction; wildcards score 0."""
+        if len(template) != len(tokens) or not template:
+            return 0.0
+        same = sum(
+            1 for t, tok in zip(template, tokens) if t == tok and t != WILDCARD
+        )
+        return same / len(template)

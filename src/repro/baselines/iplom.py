@@ -1,0 +1,168 @@
+"""IPLoM: iterative partitioning log mining.
+
+Reimplementation of Makanju, Zincir-Heywood & Milios, "Clustering Event
+Logs Using Iterative Partitioning" (KDD 2009), following the paper's
+four steps as the Sequence-RTG paper summarises them (§V):
+
+1. **Partition by event size** — cluster token sets of the same length;
+2. **Partition by token position** — split on the column with the
+   fewest distinct values ("it looks for a word that is common at the
+   same position of many messages");
+3. **Partition by search for bijection** — pick the two most-variable
+   remaining columns and split along 1-1 value mappings between them
+   (1-M / M-1 / M-M relations are left together);
+4. **Template extraction** — a position with a single value is constant,
+   otherwise it is a wildcard.
+
+Partition-support and cluster-goodness thresholds from the original are
+kept in simplified form: partitions smaller than ``partition_support``
+lines skip further splitting, and step 2 skips columns whose distinct
+count exceeds ``upper_bound`` × lines (they are variable positions, not
+discriminators).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.baselines.base import WILDCARD, LogParserBase
+
+__all__ = ["IPLoM"]
+
+
+class IPLoM(LogParserBase):
+    """Four-step iterative partitioning parser."""
+
+    name = "IPLoM"
+
+    def __init__(
+        self,
+        partition_support: int = 4,
+        upper_bound: float = 0.9,
+    ) -> None:
+        super().__init__()
+        if partition_support < 1:
+            raise ValueError(
+                f"partition_support must be >= 1, got {partition_support}"
+            )
+        self.partition_support = partition_support
+        self.upper_bound = upper_bound
+
+    # ------------------------------------------------------------------
+    def fit(self, messages: list[str]) -> list[int]:
+        token_lists = [m.split() for m in messages]
+        assignments = [0] * len(messages)
+
+        # Step 1: partition by event size (token count)
+        by_size: dict[int, list[int]] = defaultdict(list)
+        for idx, tokens in enumerate(token_lists):
+            by_size[len(tokens)].append(idx)
+
+        partitions: list[list[int]] = []
+        for size_partition in by_size.values():
+            # Step 2: partition by token position
+            for p2 in self._split_by_position(size_partition, token_lists):
+                # Step 3: partition by search for bijection
+                partitions.extend(self._split_by_bijection(p2, token_lists))
+
+        # Step 4: template extraction
+        for cluster_id, partition in enumerate(partitions):
+            template = self._extract_template(partition, token_lists)
+            self._templates.append(template)
+            for idx in partition:
+                assignments[idx] = cluster_id
+        return assignments
+
+    # ------------------------------------------------------------------
+    def _split_by_position(
+        self, partition: list[int], token_lists: list[list[str]]
+    ) -> list[list[int]]:
+        if len(partition) <= self.partition_support:
+            return [partition]
+        width = len(token_lists[partition[0]])
+        if width == 0:
+            return [partition]
+        # column with the fewest distinct values, skipping constant and
+        # nearly-unique (variable) columns
+        best_col, best_card = -1, None
+        for col in range(width):
+            distinct = {token_lists[idx][col] for idx in partition}
+            card = len(distinct)
+            if card <= 1 or card > self.upper_bound * len(partition):
+                continue
+            if best_card is None or card < best_card:
+                best_col, best_card = col, card
+        if best_col < 0 or best_card > max(2, len(partition) * 0.5):
+            # even the most stable column is nearly unique: splitting on
+            # it would shatter the partition into per-line clusters
+            return [partition]
+        groups: dict[str, list[int]] = defaultdict(list)
+        for idx in partition:
+            groups[token_lists[idx][best_col]].append(idx)
+        return list(groups.values())
+
+    # ------------------------------------------------------------------
+    def _split_by_bijection(
+        self, partition: list[int], token_lists: list[list[str]]
+    ) -> list[list[int]]:
+        if len(partition) <= self.partition_support:
+            return [partition]
+        width = len(token_lists[partition[0]])
+        # candidate columns: more than one distinct value, but not
+        # free-variable columns — the original only relates columns whose
+        # cardinality matches the partition's most frequent (low)
+        # cardinality; splitting on a ~unique column would shatter the
+        # partition into singletons
+        cap = max(2, int(len(partition) * 0.3))
+        cards: list[tuple[int, int]] = []
+        for col in range(width):
+            distinct = {token_lists[idx][col] for idx in partition}
+            if 1 < len(distinct) <= cap:
+                cards.append((len(distinct), col))
+        if len(cards) < 2:
+            return [partition]
+        # the original picks the columns with the most frequently
+        # occurring cardinality; the two lowest-cardinality variable
+        # columns are those in practice
+        cards.sort()
+        c1, c2 = cards[0][1], cards[1][1]
+
+        # determine the mapping relation between the two columns
+        fwd: dict[str, set[str]] = defaultdict(set)
+        rev: dict[str, set[str]] = defaultdict(set)
+        for idx in partition:
+            a, b = token_lists[idx][c1], token_lists[idx][c2]
+            fwd[a].add(b)
+            rev[b].add(a)
+
+        groups: dict[tuple, list[int]] = defaultdict(list)
+        leftovers: list[int] = []
+        for idx in partition:
+            a, b = token_lists[idx][c1], token_lists[idx][c2]
+            if len(fwd[a]) == 1 and len(rev[b]) == 1:
+                groups[(a, b)].append(idx)  # 1-1: its own partition
+            elif len(fwd[a]) == 1:
+                groups[("M-1", b)].append(idx)  # many a → one b
+            elif len(rev[b]) == 1:
+                groups[("1-M", a)].append(idx)  # one a → many b
+            else:
+                leftovers.append(idx)  # M-M stays together
+        out = [g for g in groups.values() if g]
+        if leftovers:
+            out.append(leftovers)
+        return out or [partition]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _extract_template(
+        partition: list[int], token_lists: list[list[str]]
+    ) -> list[str]:
+        width = len(token_lists[partition[0]])
+        template: list[str] = []
+        for col in range(width):
+            counter = Counter(token_lists[idx][col] for idx in partition)
+            if len(counter) == 1:
+                template.append(next(iter(counter)))
+            else:
+                template.append(WILDCARD)
+        return template

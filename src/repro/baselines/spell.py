@@ -1,0 +1,115 @@
+"""Spell: streaming parser based on longest common subsequence.
+
+Reimplementation of Du & Li, "Spell: Streaming Parsing of System Event
+Logs" (ICDM 2016).  Each log-structure object (LCS object) holds the
+current template; a new message joins the object with the largest LCS
+with its token sequence, provided the LCS covers at least ``tau`` of the
+message length, and the object's template is refined to that LCS (gaps
+become wildcards).  A simple length pre-filter replaces the original
+prefix-tree fast path, preserving the algorithmic behaviour at the
+2,000-line benchmark scale.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import WILDCARD, LogParserBase
+
+__all__ = ["Spell"]
+
+
+def _lcs(a: list[str], b: list[str]) -> list[str]:
+    """Classic O(len(a)·len(b)) longest common subsequence."""
+    m, n = len(a), len(b)
+    # single-array DP keeping parent pointers via full table (sequences
+    # are short log lines, so the quadratic table is fine)
+    dp = [[0] * (n + 1) for _ in range(m + 1)]
+    for i in range(m - 1, -1, -1):
+        row, nxt = dp[i], dp[i + 1]
+        for j in range(n - 1, -1, -1):
+            if a[i] == b[j]:
+                row[j] = nxt[j + 1] + 1
+            else:
+                row[j] = nxt[j] if nxt[j] >= row[j + 1] else row[j + 1]
+    out: list[str] = []
+    i = j = 0
+    while i < m and j < n:
+        if a[i] == b[j]:
+            out.append(a[i])
+            i += 1
+            j += 1
+        elif dp[i + 1][j] >= dp[i][j + 1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+class _LCSObject:
+    __slots__ = ("template", "cluster_id", "token_set")
+
+    def __init__(self, template: list[str], cluster_id: int) -> None:
+        self.template = template
+        self.cluster_id = cluster_id
+        self.token_set = set(template)
+
+
+class Spell(LogParserBase):
+    """Streaming LCS parser."""
+
+    name = "Spell"
+
+    def __init__(self, tau: float = 0.6) -> None:
+        super().__init__()
+        if not 0.0 < tau <= 1.0:
+            raise ValueError(f"tau must be in (0, 1], got {tau}")
+        self.tau = tau
+        self._objects: list[_LCSObject] = []
+
+    def fit(self, messages: list[str]) -> list[int]:
+        assignments: list[int] = []
+        for message in messages:
+            tokens = message.split()
+            assignments.append(self._insert(tokens))
+        return assignments
+
+    def _insert(self, tokens: list[str]) -> int:
+        token_set = set(tokens)
+        threshold = len(tokens) * self.tau
+        best_obj: _LCSObject | None = None
+        best_len = 0
+        for obj in self._objects:
+            constants = [t for t in obj.template if t != WILDCARD]
+            # upper bound check before paying for the DP
+            if len(constants) < threshold or len(constants) < best_len:
+                continue
+            if len(token_set & obj.token_set) < threshold:
+                continue
+            common = _lcs(constants, tokens)
+            if len(common) > best_len and len(common) >= threshold:
+                best_len = len(common)
+                best_obj = obj
+        if best_obj is None:
+            cluster_id = len(self._templates)
+            self._templates.append(list(tokens))
+            self._objects.append(_LCSObject(list(tokens), cluster_id))
+            return cluster_id
+        self._refine(best_obj, tokens)
+        return best_obj.cluster_id
+
+    def _refine(self, obj: _LCSObject, tokens: list[str]) -> None:
+        """Template becomes the LCS with wildcards in the gaps."""
+        constants = [t for t in obj.template if t != WILDCARD]
+        common = _lcs(constants, tokens)
+        new_template: list[str] = []
+        ci = 0
+        for tok in tokens:
+            if ci < len(common) and tok == common[ci]:
+                new_template.append(tok)
+                ci += 1
+            else:
+                if not new_template or new_template[-1] != WILDCARD:
+                    new_template.append(WILDCARD)
+        if new_template != obj.template:
+            obj.template = new_template
+            obj.token_set = set(new_template)
+            self._templates[obj.cluster_id] = new_template

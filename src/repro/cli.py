@@ -1,0 +1,274 @@
+"""Command-line interface.
+
+Mirrors the production entry points of the tool:
+
+* ``sequence-rtg serve`` — the data-stream ingester (paper §III): reads
+  JSON lines (``{"service": ..., "message": ...}``) from stdin or a
+  file, analyses per batch, persists patterns to the database;
+* ``sequence-rtg mine`` — ad-hoc analysis of a plain log file for one
+  service ("use Sequence-RTG as an ad-hoc service ... from a file of
+  messages to make patterns to save doing it by hand", §IV);
+* ``sequence-rtg parse`` — match messages against the stored patterns;
+* ``sequence-rtg export`` — the ``ExportPatterns`` function: render the
+  stored patterns as syslog-ng patterndb XML, YAML or Logstash Grok,
+  with the review-selection filters;
+* ``sequence-rtg stats`` — database statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.config import RTGConfig
+from repro.core.export import FORMATS, export_patterns
+from repro.core.ingest import StreamIngester
+from repro.core.patterndb import PatternDB
+from repro.core.pipeline import SequenceRTG
+from repro.core.records import LogRecord
+from repro.scanner.scanner import ScannerConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sequence-rtg",
+        description="Efficient and production-ready pattern mining in system log messages",
+    )
+    parser.add_argument(
+        "--db", default="sequence-rtg.db", help="pattern database path"
+    )
+    parser.add_argument(
+        "--single-digit-time",
+        action="store_true",
+        help="enable the future-work datetime fix (single-digit time parts)",
+    )
+    parser.add_argument(
+        "--path-fsm",
+        action="store_true",
+        help="enable the future-work path finite state machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="ingest a JSON-lines stream and analyse in batches")
+    serve.add_argument("input", nargs="?", default="-", help="input file ('-' for stdin)")
+    serve.add_argument("--batch-size", type=int, default=100_000)
+    serve.add_argument("--save-threshold", type=int, default=1)
+
+    mine = sub.add_parser("mine", help="mine patterns from a plain log file")
+    mine.add_argument("input", help="log file, one message per line")
+    mine.add_argument("--service", required=True, help="source system name")
+    mine.add_argument("--batch-size", type=int, default=100_000)
+
+    parse = sub.add_parser("parse", help="match messages against stored patterns")
+    parse.add_argument("input", nargs="?", default="-", help="log file ('-' for stdin)")
+    parse.add_argument("--service", required=True)
+
+    export = sub.add_parser("export", help="export stored patterns for other parsers")
+    export.add_argument("--format", choices=FORMATS, default="syslog-ng")
+    export.add_argument("--service", default=None)
+    export.add_argument("--min-count", type=int, default=1)
+    export.add_argument("--max-complexity", type=float, default=1.0)
+
+    sub.add_parser("stats", help="print database statistics")
+
+    prune = sub.add_parser(
+        "prune", help="drop patterns below the save threshold (§IV limitations)"
+    )
+    prune.add_argument("--threshold", type=int, required=True)
+
+    merge = sub.add_parser(
+        "merge", help="merge another instance's pattern database into this one"
+    )
+    merge.add_argument("source", help="path of the database to merge from")
+
+    evaluate = sub.add_parser(
+        "evaluate", help="grouping accuracy on a synthetic LogHub dataset"
+    )
+    evaluate.add_argument("dataset", help="dataset name, e.g. OpenSSH")
+    evaluate.add_argument(
+        "--mode", choices=("raw", "preprocessed", "both"), default="both"
+    )
+
+    artifact = sub.add_parser(
+        "artifact", help="export the reproduction artifact bundle (AVAILABILITY)"
+    )
+    artifact.add_argument("out_dir")
+    artifact.add_argument(
+        "--datasets", nargs="*", default=None, help="subset of dataset names"
+    )
+
+    report = sub.add_parser(
+        "report", help="ranked Markdown review report for administrators"
+    )
+    report.add_argument("--service", default=None)
+    report.add_argument("--min-count", type=int, default=1)
+    report.add_argument("--max-complexity", type=float, default=1.0)
+    report.add_argument("--limit", type=int, default=50)
+    return parser
+
+
+def _open_input(path: str):
+    if path == "-":
+        return sys.stdin
+    return open(path, encoding="utf-8", errors="replace")
+
+
+def _make_rtg(args: argparse.Namespace, batch_size: int = 100_000) -> SequenceRTG:
+    config = RTGConfig(
+        batch_size=batch_size,
+        save_threshold=getattr(args, "save_threshold", 1),
+        scanner=ScannerConfig(
+            allow_single_digit_time=args.single_digit_time,
+            enable_path_fsm=args.path_fsm,
+        ),
+    )
+    return SequenceRTG(db=PatternDB(args.db), config=config)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "serve":
+        rtg = _make_rtg(args, args.batch_size)
+        ingester = StreamIngester(batch_size=args.batch_size)
+        with _open_input(args.input) as stream:
+            for result in rtg.process_stream(ingester.batches(stream)):
+                print(
+                    f"batch: {result.n_records} records, {result.n_services} services, "
+                    f"{result.n_matched} matched, {result.n_new_patterns} new patterns",
+                    file=sys.stderr,
+                )
+        print(
+            f"ingested {ingester.stats.n_records} records "
+            f"({ingester.stats.n_malformed} malformed) in {ingester.stats.n_batches} batches",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.command == "mine":
+        rtg = _make_rtg(args, args.batch_size)
+        with _open_input(args.input) as stream:
+            records = [
+                LogRecord(service=args.service, message=line.rstrip("\n"))
+                for line in stream
+                if line.strip()
+            ]
+        result = rtg.analyze_by_service(records)
+        for pattern in result.new_patterns:
+            print(f"{pattern.id}  {pattern.text}")
+        print(
+            f"{result.n_records} messages -> {result.n_new_patterns} new patterns",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.command == "parse":
+        rtg = _make_rtg(args)
+        parser_ = rtg.parser_for(args.service)
+        n = n_matched = 0
+        with _open_input(args.input) as stream:
+            for line in stream:
+                message = line.rstrip("\n")
+                if not message:
+                    continue
+                n += 1
+                scanned = rtg.scanner.scan(message, service=args.service)
+                hit = parser_.match(scanned)
+                if hit is None:
+                    print(json.dumps({"message": message, "matched": False}))
+                else:
+                    n_matched += 1
+                    print(
+                        json.dumps(
+                            {
+                                "message": message,
+                                "matched": True,
+                                "pattern_id": hit.pattern.id,
+                                "fields": hit.fields,
+                            }
+                        )
+                    )
+        print(f"matched {n_matched}/{n}", file=sys.stderr)
+        return 0
+
+    if args.command == "export":
+        db = PatternDB(args.db)
+        sys.stdout.write(
+            export_patterns(
+                db,
+                fmt=args.format,
+                service=args.service,
+                min_count=args.min_count,
+                max_complexity=args.max_complexity,
+            )
+        )
+        return 0
+
+    if args.command == "stats":
+        db = PatternDB(args.db)
+        counts = db.counts()
+        for table, n in counts.items():
+            print(f"{table}: {n}")
+        return 0
+
+    if args.command == "prune":
+        db = PatternDB(args.db)
+        removed = db.prune(save_threshold=args.threshold)
+        print(f"pruned {removed} patterns below threshold {args.threshold}",
+              file=sys.stderr)
+        return 0
+
+    if args.command == "merge":
+        db = PatternDB(args.db)
+        source = PatternDB(args.source)
+        n = db.merge_from(source)
+        print(f"merged {n} patterns from {args.source}", file=sys.stderr)
+        return 0
+
+    if args.command == "evaluate":
+        from repro.loghub import evaluate_sequence_rtg, load_dataset
+
+        dataset = load_dataset(args.dataset)
+        config = _make_rtg(args).config
+        modes = ("raw", "preprocessed") if args.mode == "both" else (args.mode,)
+        for mode in modes:
+            score = evaluate_sequence_rtg(dataset, mode=mode, config=config)
+            print(f"{args.dataset} {mode}: {score:.3f}")
+        return 0
+
+    if args.command == "artifact":
+        from repro.loghub.artifact import export_artifact
+        from repro.loghub.corpus import DATASET_NAMES
+
+        datasets = tuple(args.datasets) if args.datasets else DATASET_NAMES
+        manifest = export_artifact(args.out_dir, datasets=datasets)
+        print(
+            f"artifact for {len(manifest.datasets)} datasets written to "
+            f"{manifest.directory}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.command == "report":
+        from repro.core.report import review_report
+
+        db = PatternDB(args.db)
+        sys.stdout.write(
+            review_report(
+                db,
+                service=args.service,
+                min_count=args.min_count,
+                max_complexity=args.max_complexity,
+                limit=args.limit,
+            )
+        )
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

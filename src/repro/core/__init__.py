@@ -1,0 +1,36 @@
+"""Sequence-RTG core — the paper's primary contribution.
+
+Ties the scanner, analyser and parser substrates into the
+production-ready tool described in §III of the paper:
+
+* :class:`~repro.core.ingest.StreamIngester` — JSON-lines stream input
+  with configurable batch size;
+* :class:`~repro.core.patterndb.PatternDB` — persistent SQL pattern
+  store with reproducible SHA1 ids, per-pattern statistics and up to
+  three example messages;
+* :class:`~repro.core.pipeline.SequenceRTG` — the ``AnalyzeByService``
+  workflow (partition by service → scan → parse known → partition by
+  token count → analyse → persist) plus the seminal ``Analyze`` mode for
+  comparison;
+* :mod:`repro.core.export` — syslog-ng patterndb XML, YAML and Logstash
+  Grok exporters.
+"""
+
+from repro.core.config import RTGConfig
+from repro.core.ingest import StreamIngester, parse_record
+from repro.core.parallel import ParallelSequenceRTG
+from repro.core.patterndb import PatternDB, PatternRow
+from repro.core.pipeline import BatchResult, SequenceRTG
+from repro.core.records import LogRecord
+
+__all__ = [
+    "RTGConfig",
+    "StreamIngester",
+    "parse_record",
+    "PatternDB",
+    "PatternRow",
+    "BatchResult",
+    "SequenceRTG",
+    "ParallelSequenceRTG",
+    "LogRecord",
+]

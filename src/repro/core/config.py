@@ -1,0 +1,49 @@
+"""Sequence-RTG configuration.
+
+Batch size is the knob the paper discusses at length: it must balance
+"having enough data to perform the comparison steps of the analysis and
+preventing a memory overload caused by too many messages" (§III), and
+the evaluation settles on 100,000 messages for production at CC-IN2P3
+(§IV, Fig. 5 discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyzer.analyzer import AnalyzerConfig
+from repro.scanner.scanner import ScannerConfig
+
+__all__ = ["RTGConfig"]
+
+
+@dataclass(slots=True)
+class RTGConfig:
+    """All Sequence-RTG knobs in one place."""
+
+    #: messages accumulated before an analysis run is triggered
+    batch_size: int = 100_000
+    #: patterns supported by fewer messages than this are considered
+    #: useless and not saved (§IV "Limitations", save threshold)
+    save_threshold: int = 1
+    #: maximum number of unique examples stored per pattern
+    max_examples: int = 3
+    #: export-time filters: only patterns matched at least this often ...
+    export_min_count: int = 1
+    #: ... with complexity at most this are exported for review
+    export_max_complexity: float = 1.0
+    scanner: ScannerConfig = field(default_factory=ScannerConfig)
+    analyzer: AnalyzerConfig = field(default_factory=AnalyzerConfig)
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.save_threshold < 1:
+            raise ValueError(
+                f"save_threshold must be >= 1, got {self.save_threshold}"
+            )
+        if not (0.0 <= self.export_max_complexity <= 1.0):
+            raise ValueError(
+                "export_max_complexity must be within [0, 1], got "
+                f"{self.export_max_complexity}"
+            )

@@ -1,0 +1,51 @@
+"""Pattern exporters (paper §III, "Exporting the Patterns for Other Parsers").
+
+Three formats for two common log management tools:
+
+* **syslog-ng patterndb XML** (Fig. 3) — full ruleset documents with the
+  stored example messages as ``test_message`` test cases;
+* **YAML** — the same information in a form that "can be used alongside
+  a DevOps tool such as Puppet to build the pattern database XML";
+* **Logstash Grok** (Fig. 4) — ``filter { grok { ... } }`` blocks with
+  the pattern id added as a tag.
+
+:func:`export_patterns` is the paper's ``ExportPatterns`` function: it
+pulls rows from the pattern database, applies the review-selection
+filters (minimum match count, maximum complexity score) and renders the
+requested format.
+"""
+
+from __future__ import annotations
+
+from repro.core.export.grok import to_grok
+from repro.core.export.syslog_ng import to_patterndb_xml
+from repro.core.export.yaml_export import to_yaml
+from repro.core.patterndb import PatternDB
+
+__all__ = ["to_patterndb_xml", "to_yaml", "to_grok", "export_patterns", "FORMATS"]
+
+FORMATS = ("syslog-ng", "yaml", "grok")
+
+
+def export_patterns(
+    db: PatternDB,
+    fmt: str = "syslog-ng",
+    service: str | None = None,
+    min_count: int = 1,
+    max_complexity: float = 1.0,
+) -> str:
+    """Render stored patterns in *fmt* after quality filtering.
+
+    The complexity score "can then be used to select only the strongest
+    patterns when exporting them for review and integration with other
+    systems" (§III) — rows above *max_complexity* or below *min_count*
+    matches are excluded.
+    """
+    rows = db.rows(service=service, min_count=min_count, max_complexity=max_complexity)
+    if fmt == "syslog-ng":
+        return to_patterndb_xml(rows)
+    if fmt == "yaml":
+        return to_yaml(rows)
+    if fmt == "grok":
+        return to_grok(rows)
+    raise ValueError(f"unknown export format {fmt!r}; expected one of {FORMATS}")

@@ -1,0 +1,72 @@
+"""Logstash Grok export (paper Fig. 4).
+
+Renders each pattern as a ``filter { grok { ... } }`` block whose
+``add_tag`` carries the reproducible pattern id, matching the figure::
+
+    filter {
+      grok {
+        match => {"message" => "%{DATA:action} from %{IP:srcip} port %{INT:srcport}"}
+        add_tag => ["2908692b...", "pattern_id"]
+      }
+    }
+"""
+
+from __future__ import annotations
+
+from repro.analyzer.pattern import Pattern, VarClass
+from repro.core.patterndb import PatternRow
+
+__all__ = ["to_grok", "pattern_to_grok"]
+
+_GROK_FOR = {
+    VarClass.INTEGER: "INT",
+    VarClass.FLOAT: "NUMBER",
+    VarClass.IPV4: "IP",
+    VarClass.IPV6: "IP",
+    VarClass.MAC: "MAC",
+    VarClass.TIME: "DATA",
+    VarClass.URL: "URI",
+    VarClass.PATH: "PATH",
+    VarClass.EMAIL: "EMAILADDRESS",
+    VarClass.HOST: "HOSTNAME",
+    VarClass.STRING: "DATA",
+    VarClass.ALNUM: "NOTSPACE",
+    VarClass.REST: "GREEDYDATA",
+}
+
+# characters with meaning in the regexes grok compiles to
+_REGEX_SPECIALS = set(r"\.^$|?*+()[]{}")
+
+
+def _escape_static(text: str) -> str:
+    return "".join("\\" + c if c in _REGEX_SPECIALS else c for c in text)
+
+
+def pattern_to_grok(pattern: Pattern) -> str:
+    """Render one pattern as a grok match expression."""
+    parts: list[str] = []
+    for i, tok in enumerate(pattern.tokens):
+        if i > 0 and tok.is_space_before:
+            parts.append(" ")
+        if tok.is_variable:
+            parts.append("%{" + _GROK_FOR[tok.var_class] + ":" + tok.name + "}")
+        else:
+            parts.append(_escape_static(tok.text))
+    return "".join(parts)
+
+
+def to_grok(rows: list[PatternRow]) -> str:
+    """Render pattern rows as Logstash filter blocks."""
+    blocks: list[str] = []
+    for row in rows:
+        pattern = row.to_pattern()
+        expr = pattern_to_grok(pattern).replace("\\", "\\\\").replace('"', '\\"')
+        blocks.append(
+            "filter {\n"
+            "  grok {\n"
+            f'    match => {{"message" => "{expr}"}}\n'
+            f'    add_tag => ["{row.id}", "pattern_id"]\n'
+            "  }\n"
+            "}"
+        )
+    return "\n".join(blocks) + ("\n" if blocks else "")

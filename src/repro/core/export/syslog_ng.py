@@ -1,0 +1,117 @@
+"""syslog-ng patterndb XML export (paper Fig. 3).
+
+Each service becomes a ``<ruleset>``, each pattern a ``<rule>`` whose
+``id`` is the reproducible SHA1 pattern id.  Variables are translated to
+syslog-ng db-parser pattern parsers (``@NUMBER:name@``, ``@IPv4:name@``,
+...), and the stored example messages are emitted as ``test_message``
+elements "used by syslog-ng to ensure that all the example messages
+match their pattern, and no other in the whole pattern database" (§III).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from xml.dom import minidom
+
+from repro.analyzer.pattern import Pattern, VarClass
+from repro.core.patterndb import PatternRow
+
+__all__ = ["to_patterndb_xml", "pattern_to_syslog_ng"]
+
+# syslog-ng radix-tree parser for each variable class.  TIME has no
+# dedicated db-parser; a conservative PCRE covers the layouts we emit.
+_TIME_PCRE = r"[0-9A-Za-z:,./-]+(?: [0-9A-Za-z:,./-]+){0,4}"
+
+
+def _parser_for(var_class: VarClass, name: str, last: bool) -> str:
+    if var_class is VarClass.INTEGER:
+        return f"@NUMBER:{name}@"
+    if var_class is VarClass.FLOAT:
+        return f"@FLOAT:{name}@"
+    if var_class is VarClass.IPV4:
+        return f"@IPv4:{name}@"
+    if var_class is VarClass.IPV6:
+        return f"@IPv6:{name}@"
+    if var_class is VarClass.MAC:
+        return f"@MACADDR:{name}@"
+    if var_class is VarClass.EMAIL:
+        return f"@EMAIL:{name}@"
+    if var_class is VarClass.HOST:
+        return f"@HOSTNAME:{name}@"
+    if var_class is VarClass.TIME:
+        return f"@PCRE:{name}:{_TIME_PCRE}@"
+    if var_class is VarClass.REST:
+        return f"@ANYSTRING:{name}@"
+    # STRING / ALNUM / URL / PATH: any run of non-space characters, or the
+    # whole remainder when the variable closes the pattern
+    if last:
+        return f"@ANYSTRING:{name}@"
+    return f"@ESTRING:{name}: @"
+
+
+def pattern_to_syslog_ng(pattern: Pattern) -> str:
+    """Render one pattern in syslog-ng db-parser syntax."""
+    parts: list[str] = []
+    n = len(pattern.tokens)
+    swallow_space = False  # previous ESTRING consumed its space delimiter
+    for i, tok in enumerate(pattern.tokens):
+        rendered_space = " " if (i > 0 and tok.is_space_before) else ""
+        if swallow_space:
+            rendered_space = ""
+            swallow_space = False
+        if tok.is_variable:
+            last = i == n - 1
+            piece = _parser_for(tok.var_class, tok.name, last)
+            # ESTRING matches up to *and including* its delimiter, so the
+            # space before the next token is already eaten by this parser
+            swallow_space = piece.startswith("@ESTRING")
+            parts.append(rendered_space + piece)
+        else:
+            # '@' delimits parsers in patterndb patterns; escape literals
+            parts.append(rendered_space + tok.text.replace("@", "@@"))
+    return "".join(parts)
+
+
+def to_patterndb_xml(rows: list[PatternRow], version: str = "5") -> str:
+    """Render pattern rows as a complete syslog-ng patterndb document."""
+    root = ET.Element("patterndb", version=version)
+    by_service: dict[str, list[PatternRow]] = {}
+    for row in rows:
+        by_service.setdefault(row.service, []).append(row)
+
+    for service in sorted(by_service):
+        ruleset = ET.SubElement(
+            root, "ruleset", name=service, id=f"sequence-rtg-{service}"
+        )
+        patterns_el = ET.SubElement(ruleset, "patterns")
+        ET.SubElement(patterns_el, "pattern").text = service
+        rules = ET.SubElement(ruleset, "rules")
+        for row in by_service[service]:
+            pattern = row.to_pattern()
+            rule = ET.SubElement(
+                rules,
+                "rule",
+                id=row.id,
+                provider="sequence-rtg",
+                **{"class": "system"},
+            )
+            rp = ET.SubElement(rule, "patterns")
+            ET.SubElement(rp, "pattern").text = pattern_to_syslog_ng(pattern)
+            if row.examples:
+                examples = ET.SubElement(rule, "examples")
+                for message in row.examples:
+                    example = ET.SubElement(examples, "example")
+                    ET.SubElement(example, "test_message", program=service).text = (
+                        message
+                    )
+            values = ET.SubElement(rule, "values")
+            for key, value in (
+                ("sequence-rtg.match_count", str(row.match_count)),
+                ("sequence-rtg.complexity", f"{row.complexity:.3f}"),
+                ("sequence-rtg.first_seen", row.first_seen),
+                ("sequence-rtg.last_matched", row.last_matched or ""),
+            ):
+                ET.SubElement(values, "value", name=key).text = value
+
+    raw = ET.tostring(root, encoding="unicode")
+    return minidom.parseString(raw).toprettyxml(indent="  ")

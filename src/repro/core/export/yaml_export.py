@@ -1,0 +1,54 @@
+"""YAML pattern export.
+
+"We also implemented a YAML version that can be used alongside a DevOps
+tool such as Puppet to build the pattern database XML.  YAML can be
+easier to use if files are maintained by hand" (paper §III).
+
+Emitted by hand (no external YAML dependency) using a conservative
+subset: block mappings/sequences with double-quoted scalars, which every
+YAML 1.1/1.2 loader accepts.
+"""
+
+from __future__ import annotations
+
+from repro.core.export.syslog_ng import pattern_to_syslog_ng
+from repro.core.patterndb import PatternRow
+
+__all__ = ["to_yaml"]
+
+
+def _quote(s: str) -> str:
+    """Double-quote a scalar, escaping per YAML double-quote rules."""
+    out = s.replace("\\", "\\\\").replace('"', '\\"')
+    out = out.replace("\n", "\\n").replace("\t", "\\t")
+    return f'"{out}"'
+
+
+def to_yaml(rows: list[PatternRow]) -> str:
+    """Render pattern rows as a YAML document grouped by service."""
+    lines: list[str] = ["---", "patterndb:"]
+    by_service: dict[str, list[PatternRow]] = {}
+    for row in rows:
+        by_service.setdefault(row.service, []).append(row)
+    if not by_service:
+        return "---\npatterndb: {}\n"
+    for service in sorted(by_service):
+        lines.append(f"  {_quote(service)}:")
+        for row in by_service[service]:
+            pattern = row.to_pattern()
+            lines.append(f"    - id: {_quote(row.id)}")
+            lines.append(f"      pattern: {_quote(row.pattern_text)}")
+            lines.append(
+                f"      syslog_ng_pattern: {_quote(pattern_to_syslog_ng(pattern))}"
+            )
+            lines.append(f"      match_count: {row.match_count}")
+            lines.append(f"      complexity: {row.complexity:.3f}")
+            lines.append(f"      first_seen: {_quote(row.first_seen)}")
+            lines.append(f"      last_matched: {_quote(row.last_matched or '')}")
+            if row.examples:
+                lines.append("      examples:")
+                for message in row.examples:
+                    lines.append(f"        - {_quote(message)}")
+            else:
+                lines.append("      examples: []")
+    return "\n".join(lines) + "\n"

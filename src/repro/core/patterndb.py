@@ -1,0 +1,321 @@
+"""Persistent pattern store.
+
+"Analysing system logs in a continuous way requires to be able to
+preserve patterns between the processing of different message batches.
+To this end, Sequence-RTG stores the patterns in a SQL database in a
+one-to-many relationship with their related services.  We also include
+up to three unique examples for each pattern ...  We label each pattern
+with a unique ID ... a SHA1 hash of the concatenated text of the pattern
+and the service.  Moreover, we attach a set of statistics ... the number
+of times that the pattern has been matched since first discovered
+(count), how recently it was last matched (last matched date) and a
+calculated complexity score." (paper §III)
+
+Implemented over sqlite3 so the store works in-memory for tests and on
+disk in production, with the exact schema shape the paper describes.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from repro.analyzer.pattern import Pattern
+
+__all__ = ["PatternDB", "PatternRow"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS services (
+    id   INTEGER PRIMARY KEY AUTOINCREMENT,
+    name TEXT UNIQUE NOT NULL
+);
+CREATE TABLE IF NOT EXISTS patterns (
+    id           TEXT PRIMARY KEY,
+    service_id   INTEGER NOT NULL REFERENCES services(id),
+    pattern_text TEXT NOT NULL,
+    tokens_json  TEXT NOT NULL,
+    complexity   REAL NOT NULL,
+    match_count  INTEGER NOT NULL DEFAULT 0,
+    first_seen   TEXT NOT NULL,
+    last_matched TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_patterns_service ON patterns(service_id);
+CREATE TABLE IF NOT EXISTS examples (
+    pattern_id TEXT NOT NULL REFERENCES patterns(id) ON DELETE CASCADE,
+    seq        INTEGER NOT NULL,
+    message    TEXT NOT NULL,
+    PRIMARY KEY (pattern_id, seq)
+);
+"""
+
+
+def _utcnow() -> datetime:
+    return datetime.now(timezone.utc)
+
+
+@dataclass(slots=True)
+class PatternRow:
+    """One stored pattern with its statistics."""
+
+    id: str
+    service: str
+    pattern_text: str
+    complexity: float
+    match_count: int
+    first_seen: str
+    last_matched: str | None
+    examples: list[str]
+    tokens_json: str
+
+    def to_pattern(self) -> Pattern:
+        pattern = Pattern.from_dict(json.loads(self.tokens_json))
+        pattern.service = self.service
+        pattern.support = self.match_count
+        pattern.examples = list(self.examples)
+        return pattern
+
+
+class PatternDB:
+    """SQLite-backed pattern persistence."""
+
+    def __init__(self, path: str = ":memory:", max_examples: int = 3) -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_SCHEMA)
+        self.max_examples = max_examples
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "PatternDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _service_id(self, name: str) -> int:
+        cur = self._conn.execute(
+            "INSERT INTO services(name) VALUES (?) ON CONFLICT(name) DO NOTHING",
+            (name,),
+        )
+        if cur.lastrowid:
+            row = self._conn.execute(
+                "SELECT id FROM services WHERE name = ?", (name,)
+            ).fetchone()
+            return int(row[0])
+        row = self._conn.execute(
+            "SELECT id FROM services WHERE name = ?", (name,)
+        ).fetchone()
+        return int(row[0])
+
+    # ------------------------------------------------------------------
+    def upsert(self, pattern: Pattern, now: datetime | None = None) -> str:
+        """Insert *pattern* or fold its support/examples into the stored row.
+
+        Returns the pattern id.  The id is content-derived (SHA1 of text +
+        service), so re-discovering a pattern in a later batch updates
+        the existing row instead of duplicating it.
+        """
+        if not pattern.service:
+            raise ValueError("pattern must carry a service before persisting")
+        now = now or _utcnow()
+        stamp = now.isoformat()
+        pid = pattern.id
+        service_id = self._service_id(pattern.service)
+        existing = self._conn.execute(
+            "SELECT match_count FROM patterns WHERE id = ?", (pid,)
+        ).fetchone()
+        if existing is None:
+            self._conn.execute(
+                "INSERT INTO patterns(id, service_id, pattern_text, tokens_json,"
+                " complexity, match_count, first_seen, last_matched)"
+                " VALUES (?,?,?,?,?,?,?,?)",
+                (
+                    pid,
+                    service_id,
+                    pattern.text,
+                    json.dumps(pattern.to_dict()),
+                    pattern.complexity,
+                    pattern.support,
+                    stamp,
+                    stamp,
+                ),
+            )
+        else:
+            self._conn.execute(
+                "UPDATE patterns SET match_count = match_count + ?,"
+                " last_matched = ? WHERE id = ?",
+                (pattern.support, stamp, pid),
+            )
+        for example in pattern.examples:
+            self._add_example(pid, example)
+        self._conn.commit()
+        return pid
+
+    def add_example(self, pattern_id: str, message: str) -> None:
+        """Store *message* as an example of the pattern if new and under cap."""
+        self._add_example(pattern_id, message)
+        self._conn.commit()
+
+    def _add_example(self, pattern_id: str, message: str) -> None:
+        rows = self._conn.execute(
+            "SELECT seq, message FROM examples WHERE pattern_id = ? ORDER BY seq",
+            (pattern_id,),
+        ).fetchall()
+        if len(rows) >= self.max_examples:
+            return
+        if any(message == m for _, m in rows):
+            return
+        next_seq = (rows[-1][0] + 1) if rows else 0
+        self._conn.execute(
+            "INSERT INTO examples(pattern_id, seq, message) VALUES (?,?,?)",
+            (pattern_id, next_seq, message),
+        )
+
+    # ------------------------------------------------------------------
+    def record_match(
+        self, pattern_id: str, n: int = 1, now: datetime | None = None
+    ) -> None:
+        """Bump the match count and last-matched date of a stored pattern."""
+        now = now or _utcnow()
+        self._conn.execute(
+            "UPDATE patterns SET match_count = match_count + ?, last_matched = ?"
+            " WHERE id = ?",
+            (n, now.isoformat(), pattern_id),
+        )
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    def services(self) -> list[str]:
+        rows = self._conn.execute(
+            "SELECT name FROM services ORDER BY name"
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def load_service(self, service: str) -> list[Pattern]:
+        """Load all patterns of one service as live Pattern objects."""
+        return [row.to_pattern() for row in self.rows(service=service)]
+
+    def rows(
+        self,
+        service: str | None = None,
+        min_count: int = 0,
+        max_complexity: float = 1.0,
+    ) -> list[PatternRow]:
+        """Fetch stored rows, optionally filtered for export selection."""
+        query = (
+            "SELECT p.id, s.name, p.pattern_text, p.tokens_json, p.complexity,"
+            " p.match_count, p.first_seen, p.last_matched"
+            " FROM patterns p JOIN services s ON s.id = p.service_id"
+            " WHERE p.match_count >= ? AND p.complexity <= ?"
+        )
+        params: list = [min_count, max_complexity]
+        if service is not None:
+            query += " AND s.name = ?"
+            params.append(service)
+        query += " ORDER BY s.name, p.match_count DESC"
+        out: list[PatternRow] = []
+        for pid, svc, text, tokens_json, cx, count, first, last in self._conn.execute(
+            query, params
+        ):
+            examples = [
+                m
+                for (m,) in self._conn.execute(
+                    "SELECT message FROM examples WHERE pattern_id = ? ORDER BY seq",
+                    (pid,),
+                )
+            ]
+            out.append(
+                PatternRow(
+                    id=pid,
+                    service=svc,
+                    pattern_text=text,
+                    complexity=cx,
+                    match_count=count,
+                    first_seen=first,
+                    last_matched=last,
+                    examples=examples,
+                    tokens_json=tokens_json,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def prune(self, save_threshold: int) -> int:
+        """Drop patterns matched fewer than *save_threshold* times.
+
+        Implements the paper's monitoring guidance for the rare-message
+        limitation: "Any pattern whose count of matches is less than the
+        threshold is considered useless and thus not saved."
+        """
+        cur = self._conn.execute(
+            "DELETE FROM patterns WHERE match_count < ?", (save_threshold,)
+        )
+        self._conn.execute(
+            "DELETE FROM examples WHERE pattern_id NOT IN (SELECT id FROM patterns)"
+        )
+        self._conn.commit()
+        return cur.rowcount
+
+    # ------------------------------------------------------------------
+    def merge_from(self, other: "PatternDB") -> int:
+        """Fold every pattern of *other* into this database.
+
+        Supports the paper's scale-out deployment (§IV): each
+        Sequence-RTG instance owns the services it was sent and "each
+        instance could have its own database as there is no crossover
+        with patterns between different services" — a central database
+        is then the union of the instance databases.  Content-derived
+        ids make the merge idempotent; match counts accumulate.
+
+        Returns the number of patterns folded in.
+        """
+        n = 0
+        for row in other.rows():
+            pattern = row.to_pattern()
+            pattern.support = row.match_count
+            self.upsert(pattern)
+            n += 1
+        return n
+
+    def dump(self) -> list[dict]:
+        """Serialise the whole database to JSON-compatible dictionaries."""
+        out = []
+        for row in self.rows():
+            out.append(
+                {
+                    "id": row.id,
+                    "service": row.service,
+                    "pattern": row.pattern_text,
+                    "tokens": json.loads(row.tokens_json),
+                    "complexity": row.complexity,
+                    "match_count": row.match_count,
+                    "first_seen": row.first_seen,
+                    "last_matched": row.last_matched,
+                    "examples": row.examples,
+                }
+            )
+        return out
+
+    @classmethod
+    def from_dump(cls, dump: list[dict], path: str = ":memory:") -> "PatternDB":
+        """Rebuild a database from :meth:`dump` output."""
+        db = cls(path)
+        for entry in dump:
+            pattern = Pattern.from_dict(entry["tokens"])
+            pattern.service = entry["service"]
+            pattern.support = entry["match_count"]
+            pattern.examples = list(entry["examples"])
+            db.upsert(pattern)
+        return db
+
+    def counts(self) -> dict[str, int]:
+        """Row counts per table (monitoring/telemetry)."""
+        out = {}
+        for table in ("services", "patterns", "examples"):
+            (n,) = self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()
+            out[table] = n
+        return out

@@ -1,0 +1,189 @@
+"""The ``AnalyzeByService`` pipeline (paper Fig. 2) and legacy ``Analyze``.
+
+Workflow, stage by stage, exactly as the paper draws it:
+
+1. **Partition by service** — "a first partitioning of the data which
+   groups the log records into subsets by service";
+2. **Scan** — tokenize the messages of each service group;
+3. **Parse known** — "these scanned messages are then sent to the
+   Sequence parser to see if they match an already known pattern.  If a
+   match is found the last matched date and the number of examples ...
+   are adjusted accordingly and no further processing occurs";
+4. **Partition by token count** — "a second partitioning of these
+   unmatched messages occurs based on count of tokens in the set.  Only
+   token sets of the same length are compared in the same analysis trie";
+5. **Analyse** — mine new patterns per partition;
+6. **Persist** — "the newly found patterns are eventually saved in the
+   database for comparison against subsequent batches and exporting."
+
+``analyze_legacy`` reproduces the seminal single-trie ``Analyze`` method
+for the Fig. 5 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from repro.analyzer.analyzer import Analyzer, LegacyAnalyzer
+from repro.analyzer.pattern import Pattern
+from repro.core.config import RTGConfig
+from repro.core.patterndb import PatternDB
+from repro.core.records import LogRecord
+from repro.parser.parser import Parser
+from repro.scanner.scanner import ScannedMessage, Scanner
+from repro._util.timers import StageTimer
+
+__all__ = ["SequenceRTG", "BatchResult"]
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """Telemetry of one ``analyze_by_service`` execution."""
+
+    n_records: int = 0
+    n_services: int = 0
+    n_matched: int = 0  # parsed against already-known patterns
+    n_unmatched: int = 0  # sent on to the analyser
+    n_partitions: int = 0  # (service, token count) analysis partitions
+    n_new_patterns: int = 0  # newly discovered and persisted
+    n_below_threshold: int = 0  # discovered but under the save threshold
+    max_trie_nodes: int = 0  # memory telemetry (largest analysis trie)
+    timings: dict[str, float] = field(default_factory=dict)
+    new_patterns: list[Pattern] = field(default_factory=list)
+
+    @property
+    def matched_fraction(self) -> float:
+        return self.n_matched / self.n_records if self.n_records else 0.0
+
+
+class SequenceRTG:
+    """Production-ready pattern miner (the paper's contribution).
+
+    A :class:`SequenceRTG` instance owns one scanner, one pattern
+    database and a per-service parser cache.  ``analyze_by_service``
+    processes one batch; :meth:`process_stream` drives batches from an
+    ingester for continuous operation.
+    """
+
+    def __init__(
+        self, db: PatternDB | None = None, config: RTGConfig | None = None
+    ) -> None:
+        self.config = config or RTGConfig()
+        self.db = db or PatternDB(max_examples=self.config.max_examples)
+        self.scanner = Scanner(self.config.scanner)
+        self._parsers: dict[str, Parser] = {}
+
+    # ------------------------------------------------------------------
+    def parser_for(self, service: str) -> Parser:
+        """Parser over the known patterns of *service* (cached)."""
+        parser = self._parsers.get(service)
+        if parser is None:
+            parser = Parser(self.db.load_service(service))
+            self._parsers[service] = parser
+        return parser
+
+    def invalidate_parsers(self) -> None:
+        """Drop the parser cache (after external DB mutation)."""
+        self._parsers.clear()
+
+    # ------------------------------------------------------------------
+    def analyze_by_service(
+        self, records: list[LogRecord], now: datetime | None = None
+    ) -> BatchResult:
+        """Run the Fig. 2 workflow over one batch of records."""
+        result = BatchResult(n_records=len(records))
+        timer = StageTimer()
+
+        # 1. first partitioning: group by service
+        with timer.stage("partition_service"):
+            by_service: dict[str, list[LogRecord]] = {}
+            for record in records:
+                by_service.setdefault(record.service, []).append(record)
+        result.n_services = len(by_service)
+
+        analyzer = Analyzer(self.config.analyzer)
+        for service, group in by_service.items():
+            # 2. scan
+            with timer.stage("scan"):
+                scanned = [
+                    self.scanner.scan(r.message, service=service) for r in group
+                ]
+
+            # 3. parse against already known patterns
+            parser = self.parser_for(service)
+            unmatched: list[ScannedMessage] = []
+            with timer.stage("parse"):
+                match_counts: dict[str, int] = {}
+                match_examples: dict[str, list[str]] = {}
+                for msg in scanned:
+                    if len(parser) == 0:
+                        unmatched.append(msg)
+                        continue
+                    hit = parser.match(msg)
+                    if hit is None:
+                        unmatched.append(msg)
+                    else:
+                        pid = hit.pattern.id
+                        match_counts[pid] = match_counts.get(pid, 0) + 1
+                        match_examples.setdefault(pid, []).append(msg.original)
+            with timer.stage("db_update"):
+                for pid, n in match_counts.items():
+                    self.db.record_match(pid, n=n, now=now)
+                    for example in match_examples[pid][:2]:
+                        self.db.add_example(pid, example)
+            result.n_matched += sum(match_counts.values())
+            result.n_unmatched += len(unmatched)
+
+            # 4. second partitioning: group unmatched by token count
+            with timer.stage("partition_length"):
+                by_length: dict[int, list[ScannedMessage]] = {}
+                for msg in unmatched:
+                    by_length.setdefault(msg.token_count(), []).append(msg)
+            result.n_partitions += len(by_length)
+
+            # 5. analyse each partition in its own trie
+            for _, partition in sorted(by_length.items()):
+                with timer.stage("analyze"):
+                    patterns = analyzer.analyze(partition)
+                result.max_trie_nodes = max(
+                    result.max_trie_nodes, analyzer.last_trie_nodes
+                )
+                # 6. persist discovered patterns (save threshold applies)
+                with timer.stage("db_save"):
+                    for pattern in patterns:
+                        pattern.service = service
+                        if pattern.support < self.config.save_threshold:
+                            result.n_below_threshold += 1
+                            continue
+                        self.db.upsert(pattern, now=now)
+                        parser.add_pattern(pattern)
+                        result.n_new_patterns += 1
+                        result.new_patterns.append(pattern)
+
+        result.timings = timer.report()
+        return result
+
+    # ------------------------------------------------------------------
+    def analyze_legacy(self, records: list[LogRecord]) -> list[Pattern]:
+        """Seminal Sequence ``Analyze``: one trie, no partitioning.
+
+        Reproduced for the Fig. 5 comparison.  All services and message
+        lengths share a single analysis trie, nothing is parsed against
+        known patterns first, and nothing is persisted.
+        """
+        analyzer = LegacyAnalyzer(None)
+        scanned = [self.scanner.scan(r.message, service=r.service) for r in records]
+        patterns = analyzer.analyze(scanned)
+        self.last_legacy_trie_nodes = analyzer.last_trie_nodes
+        return patterns
+
+    # ------------------------------------------------------------------
+    def process_stream(self, batches, now: datetime | None = None):
+        """Run ``analyze_by_service`` for every batch; yield results.
+
+        *batches* is any iterable of record lists — typically
+        :meth:`repro.core.ingest.StreamIngester.batches`.
+        """
+        for batch in batches:
+            yield self.analyze_by_service(batch, now=now)

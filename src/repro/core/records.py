@@ -1,0 +1,23 @@
+"""Input record model.
+
+"Each item in the stream is simply expected to be using a JSON format
+with only two fields: service (the source system) from where the message
+originated and the unaltered log message." (paper §III)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LogRecord"]
+
+
+@dataclass(slots=True, frozen=True)
+class LogRecord:
+    """One item of the composite input stream."""
+
+    service: str
+    message: str
+
+    def to_json_dict(self) -> dict[str, str]:
+        return {"service": self.service, "message": self.message}

@@ -1,0 +1,43 @@
+"""Per-dataset synthetic LogHub specifications.
+
+One module per dataset of the 16 used in the paper's Table II/III.  Each
+exposes a module-level ``SPEC`` (:class:`repro.loghub.generator.DatasetSpec`)
+whose templates are modelled on the real system's log formats, including
+the failure cases the paper names (HealthApp unpadded times, Proxifier
+integer/alphanumeric columns, Linux's long tail of rare events).
+"""
+
+from importlib import import_module
+
+__all__ = ["spec_for", "MODULES"]
+
+MODULES = {
+    "HDFS": "hdfs",
+    "Hadoop": "hadoop",
+    "Spark": "spark",
+    "Zookeeper": "zookeeper",
+    "OpenStack": "openstack",
+    "BGL": "bgl",
+    "HPC": "hpc",
+    "Thunderbird": "thunderbird",
+    "Windows": "windows",
+    "Linux": "linux",
+    "Mac": "mac",
+    "Android": "android",
+    "HealthApp": "healthapp",
+    "Apache": "apache",
+    "OpenSSH": "openssh",
+    "Proxifier": "proxifier",
+}
+
+
+def spec_for(name: str):
+    """Load the DatasetSpec for dataset *name* (e.g. ``"HDFS"``)."""
+    try:
+        module_name = MODULES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; expected one of {sorted(MODULES)}"
+        ) from None
+    module = import_module(f"repro.loghub.datasets.{module_name}")
+    return module.SPEC

@@ -1,0 +1,183 @@
+"""Shared header builders for the synthetic datasets.
+
+Each returns a ``header(rng, component)`` callable producing the
+dataset's line prefix (timestamp, level, pid, component, ...), with the
+timestamp drawn deterministically from the per-dataset RNG so headers
+vary line to line the way real logs do.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+__all__ = [
+    "hdfs_header",
+    "java_header",
+    "spark_header",
+    "zookeeper_header",
+    "openstack_header",
+    "bgl_header",
+    "hpc_header",
+    "thunderbird_header",
+    "windows_header",
+    "syslog_header",
+    "android_header",
+    "healthapp_header",
+    "apache_header",
+    "proxifier_header",
+]
+
+_MONTHS = ("Jan", "Feb", "Mar", "Apr", "May", "Jun",
+           "Jul", "Aug", "Sep", "Oct", "Nov", "Dec")
+_LEVELS = ("INFO", "INFO", "INFO", "WARN", "ERROR")
+
+
+def _clock(rng: random.Random) -> tuple[int, int, int]:
+    return rng.randint(0, 23), rng.randint(0, 59), rng.randint(0, 59)
+
+
+def _level_for(component: str, choices: tuple[str, ...] = _LEVELS) -> str:
+    """Deterministic log level per component.
+
+    Real log events carry a fixed severity; drawing the level randomly
+    per line would split every event into one pattern per level, which
+    no real dataset does.
+    """
+    return choices[zlib.crc32(component.encode()) % len(choices)]
+
+
+def hdfs_header(rng: random.Random, component: str) -> str:
+    h, m, s = _clock(rng)
+    comp = component or "dfs.DataNode$PacketResponder"
+    return (
+        f"0811{rng.randint(10, 28):02d} {h:02d}{m:02d}{s:02d} "
+        f"{rng.randint(1, 3000)} {_level_for(comp)} {comp}: "
+    )
+
+
+def java_header(rng: random.Random, component: str) -> str:
+    h, m, s = _clock(rng)
+    comp = component or "org.apache.hadoop.mapreduce.v2.app.MRAppMaster"
+    return (
+        f"2015-10-{rng.randint(10, 28)} {h:02d}:{m:02d}:{s:02d},"
+        f"{rng.randint(0, 999):03d} {_level_for(comp)} [main] {comp}: "
+    )
+
+
+def spark_header(rng: random.Random, component: str) -> str:
+    h, m, s = _clock(rng)
+    comp = component or "executor.Executor"
+    return f"17/06/{rng.randint(1, 28):02d} {h:02d}:{m:02d}:{s:02d} INFO {comp}: "
+
+
+def zookeeper_header(rng: random.Random, component: str) -> str:
+    h, m, s = _clock(rng)
+    comp = component or "QuorumPeer"
+    return (
+        f"2015-07-{rng.randint(10, 29)} {h:02d}:{m:02d}:{s:02d},"
+        f"{rng.randint(0, 999):03d} - {_level_for(comp)}"
+        f" [main:{comp}@{rng.randint(100, 999)}] - "
+    )
+
+
+def openstack_header(rng: random.Random, component: str) -> str:
+    h, m, s = _clock(rng)
+    comp = component or "nova.osapi_compute.wsgi.server"
+    req = (
+        f"req-{rng.getrandbits(32):08x}-{rng.getrandbits(16):04x}-"
+        f"{rng.getrandbits(16):04x}-{rng.getrandbits(16):04x}-"
+        f"{rng.getrandbits(48):012x}"
+    )
+    return (
+        f"2017-05-16 {h:02d}:{m:02d}:{s:02d}.{rng.randint(0, 999):03d} "
+        f"{rng.randint(2000, 30000)} {_level_for(comp)} {comp} [{req}] "
+    )
+
+
+def bgl_header(rng: random.Random, component: str) -> str:
+    h, m, s = _clock(rng)
+    loc = (
+        f"R{rng.randint(0, 63):02d}-M{rng.randint(0, 1)}-N{rng.randint(0, 15)}"
+        f"-C:J{rng.randint(0, 17):02d}-U{rng.randint(0, 63):02d}"
+    )
+    comp = component or "KERNEL"
+    epoch = 1117838570 + rng.randint(0, 500000)
+    day = rng.randint(1, 28)
+    return (
+        f"- {epoch} 2005.06.{day:02d} {loc} "
+        f"2005-06-{day:02d}-{h:02d}.{m:02d}.{s:02d}.{rng.randint(0, 999999):06d} "
+        f"{loc} RAS {comp} {_level_for(comp, ('INFO', 'FATAL', 'WARNING'))} "
+    )
+
+
+def hpc_header(rng: random.Random, component: str) -> str:
+    comp = component or "unix.hw"
+    return (
+        f"{rng.randint(10000, 99999)} node-{rng.randint(0, 255)} "
+        f"{comp} {1084680778 + rng.randint(0, 900000)} 1 "
+    )
+
+
+def thunderbird_header(rng: random.Random, component: str) -> str:
+    h, m, s = _clock(rng)
+    day = rng.randint(1, 28)
+    node = f"dn{rng.randint(1, 999)}"
+    comp = component or "crond(pam_unix)"
+    epoch = 1131566461 + rng.randint(0, 400000)
+    return (
+        f"- {epoch} 2005.11.{day:02d} {node} Nov {day} "
+        f"{h:02d}:{m:02d}:{s:02d} {node}/{node} {comp}[{rng.randint(100, 32000)}]: "
+    )
+
+
+def windows_header(rng: random.Random, component: str) -> str:
+    h, m, s = _clock(rng)
+    comp = component or "CBS"
+    return f"2016-09-{rng.randint(10, 29)} {h:02d}:{m:02d}:{s:02d}, Info {comp} "
+
+
+def syslog_header(host: str = "combo"):
+    def header(rng: random.Random, component: str) -> str:
+        h, m, s = _clock(rng)
+        comp = component or "kernel"
+        return (
+            f"{rng.choice(_MONTHS)} {rng.randint(1, 28)} "
+            f"{h:02d}:{m:02d}:{s:02d} {host} {comp}[{rng.randint(100, 32000)}]: "
+        )
+
+    return header
+
+
+def android_header(rng: random.Random, component: str) -> str:
+    h, m, s = _clock(rng)
+    comp = component or "WindowManager"
+    return (
+        f"03-{rng.randint(10, 28)} {h:02d}:{m:02d}:{s:02d}."
+        f"{rng.randint(0, 999):03d} {rng.randint(1000, 9999)} "
+        f"{rng.randint(1000, 9999)} {_level_for(comp, tuple('DIWEV'))} {comp}: "
+    )
+
+
+def healthapp_header(rng: random.Random, component: str) -> str:
+    h, m, s = rng.randint(10, 23), rng.randint(10, 59), rng.randint(10, 59)
+    comp = component or "Step_LSC"
+    return (
+        f"201712{rng.randint(10, 28)}-{h}:{m}:{s}:{rng.randint(100, 999)}"
+        f"|{comp}|{rng.randint(30000000, 30009999)}|"
+    )
+
+
+def apache_header(rng: random.Random, component: str) -> str:
+    h, m, s = _clock(rng)
+    day_name = rng.choice(("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"))
+    level = component or "notice"
+    return (
+        f"[{day_name} Jun {rng.randint(1, 28):02d} {h:02d}:{m:02d}:{s:02d} 2005]"
+        f" [{level}] "
+    )
+
+
+def proxifier_header(rng: random.Random, component: str) -> str:
+    h, m, s = _clock(rng)
+    return f"[{rng.randint(10, 12)}.{rng.randint(10, 28)} {h:02d}:{m:02d}:{s:02d}] "

@@ -1,0 +1,59 @@
+"""Android — logcat stream.
+
+Dense framework chatter (window manager, power manager, activity
+manager) with many medium-frequency events.
+"""
+
+from repro.loghub.datasets._headers import android_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+_SERVICES = (
+    "AlarmManager", "AudioTrack", "BatteryService", "ConnectivityService",
+    "InputDispatcher", "JobScheduler", "NotificationService", "PackageManager",
+    "SensorService", "TelephonyManager", "Vibrator", "WifiStateMachine",
+)
+
+SPEC = DatasetSpec(
+    name="Android",
+    header=android_header,
+    templates=[
+        T("printFreezingDisplayLogsopening app wtoken = AppWindowToken{{{hex8} token=Token{{{hex8} ActivityRecord{{{hex8} u0 com.tencent.qt.qtl/.activity.info.NewsDetailXmlActivity t{int}}}}}}}, allDrawn= false, startingDisplayed =  false, startingMoved = false, isRelaunching = false",
+          "WindowManager"),
+        T("Skipping AppWindowToken{{{hex8} token=Token{{{hex8} ActivityRecord{{{hex8} u0 com.tencent.qt.qtl/.activity.info.NewsDetailXmlActivity t{int}}}}}}} -- going to hide",
+          "WindowManager"),
+        T("acquire lock=23456789, flags=0x{hex8}, tag=\"RILJ_ACK_WL\", name=com.android.phone, ws=null, uid={int}, pid={int}",
+          "PowerManagerService"),
+        T("ready=true,policy={int:3},wakefulness=1,wksummary=0x{hex8},uasummary=0x{hex8},bootcompleted=true,boostinprogress=false,waitmodeenable=false,mode=false,manual={int:3},auto=-1,adj=0.0userId=0",
+          "PowerManagerService"),
+        T("Set screen state: true", "DisplayPowerController"),
+        T("Unblocked screen, oldState=OFF, newState=ON, elapsed={int} ms",
+          "DisplayPowerController"),
+        T("setSystemUiVisibility vis=0x{hex8} mask=0xffffffff oldVal=0x{hex8} newVal=0x{hex8} diff=0x{hex8}",
+          "StatusBarManagerService"),
+        T("loadLabel exceed, packageName=com.{word:6}.{word:6}, label={word:6}",
+          "PackageManager"),
+        T("Loading service info list size = {int:3}", "HwSystemManager"),
+        T("SendBroadcast permission granted uid = {int}", "HwSystemManager"),
+        T("screen is on...", "SendBroadcastPermission"),
+        T("interceptKeyTq keycode={int:3} down=true keyguardActive=false",
+          "PhoneWindowManager"),
+        T("startAnimation, this = RemoteDisplayState{{{hex8}}}", "SurfaceFlinger"),
+        T("computeScreenConfigurationLocked() Density: {int:3}", "WindowManager"),
+    ],
+    rare_templates=[
+        T(f"{svc}: operation {op} took {{int}} ms", svc)
+        for svc in _SERVICES
+        for op in ("bind", "unbind", "sync", "flush")
+    ] + [
+        T(f"{svc}: unexpected state {{int:4}} in transaction {{hex8}}", svc)
+        for svc in _SERVICES[:8]
+    ],
+    preprocess=[
+        r"0x[0-9a-f]+",
+        r"\{[0-9a-f]{6,8}",
+    ],
+    zipf_s=1.1,
+    seed=112,
+)

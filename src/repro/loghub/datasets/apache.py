@@ -1,0 +1,29 @@
+"""Apache — httpd error log.
+
+Six highly regular events; every parser in the benchmark reaches 1.0 and
+Sequence-RTG does too (Table II).
+"""
+
+from repro.loghub.datasets._headers import apache_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+SPEC = DatasetSpec(
+    name="Apache",
+    header=apache_header,
+    templates=[
+        T("jk2_init() Found child {int} in scoreboard slot {int}", "notice"),
+        T("workerEnv.init() ok {path}", "notice"),
+        T("mod_jk child workerEnv in error state {int:2}", "error"),
+        T("[client {ip}] Directory index forbidden by rule: {path}", "error"),
+        T("jk2_init() Can't find child {int} in scoreboard", "error"),
+        T("mod_jk child init {int:2} {int:2}", "notice"),
+    ],
+    preprocess=[
+        r"(\d{1,3}\.){3}\d{1,3}",
+        r"/(?:[a-zA-Z0-9_.-]+/)+[a-zA-Z0-9_.-]*",
+    ],
+    zipf_s=1.0,
+    seed=114,
+)

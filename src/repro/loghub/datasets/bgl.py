@@ -1,0 +1,48 @@
+"""BGL — Blue Gene/L RAS (reliability, availability, serviceability) log."""
+
+from repro.loghub.datasets._headers import bgl_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+SPEC = DatasetSpec(
+    name="BGL",
+    header=bgl_header,
+    templates=[
+        T("instruction cache parity error corrected", "KERNEL"),
+        T("generating core.{int}", "KERNEL"),
+        T("{int} double-hummer alignment exceptions", "KERNEL"),
+        T("ciod: Error reading message prefix after LOGIN_MESSAGE on CioStream socket to {ip}:{port}", "KERNEL"),
+        T("ciod: failed to read message prefix on control stream CioStream socket to {ip}:{port}", "KERNEL"),
+        T("data TLB error interrupt", "KERNEL"),
+        T("rts: kernel terminated for reason {int}", "KERNEL"),
+        T("total of {int} ddr error(s) detected and corrected", "KERNEL"),
+        T("ddr: excessive soft failures, consider replacing the ddr memory on this card", "KERNEL"),
+        T("CE sym {int}, at {mem}, mask 0x{hex8}", "KERNEL"),
+        T("core configuration register: {mem}", "KERNEL"),
+        T("program interrupt: fp cr field {int}", "KERNEL"),
+        T("L3 ecc control register: {mem}", "KERNEL"),
+        T("machine check interrupt", "KERNEL"),
+        T("idoproxydb hit ASSERT condition: ASSERT expression={int} Source file={path} Source line={int} Function={word:6}", "APP"),
+        T("ciodb has been restarted.", "DISCOVERY"),
+        T("Node card VPD check: missing {int} node cards", "DISCOVERY"),
+        T("problem communicating with service card, ido chip: U{int:8}", "HARDWARE"),
+        T("MidplaneSwitchController performing bit sparing on {core} bit {int}", "HARDWARE"),
+        T("Error receiving packet on tree network, expecting type {int} instead of type {int} (softheader={int} {int} {int} {int})", "KERNEL"),
+    ],
+    rare_templates=[
+        T("critical input interrupt (unit={mem} bit={int}): warning for torus y+ wire", "KERNEL"),
+        T("power module U{int:8} status fault detected on node card", "MMCS"),
+        T("lustre mount FAILED: {int}: point {path}", "APP"),
+        T("shutdown complete", "KERNEL"),
+        T("NFS Mount failed on {path}, slept {int} seconds, retrying ({int})", "LINUX"),
+    ],
+    preprocess=[
+        r"0x[0-9a-f]+",
+        r"(\d{1,3}\.){3}\d{1,3}(:\d+)?",
+        r"core\.\d+",
+        r"R\d{2}-M\d-N\d{1,2}-C:J\d{2}-U\d{2}",
+    ],
+    zipf_s=1.3,
+    seed=106,
+)

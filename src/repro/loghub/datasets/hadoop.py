@@ -1,0 +1,65 @@
+"""Hadoop — MapReduce application master / container logs.
+
+Many java-component events with attempt and container identifiers; a
+moderate long tail of rare events.
+"""
+
+from repro.loghub.datasets._headers import java_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+_RARE_COMPONENTS = (
+    "org.apache.hadoop.ipc.Client",
+    "org.apache.hadoop.mapred.Task",
+    "org.apache.hadoop.yarn.event.AsyncDispatcher",
+    "org.apache.hadoop.mapreduce.v2.app.rm.RMContainerAllocator",
+)
+
+SPEC = DatasetSpec(
+    name="Hadoop",
+    header=java_header,
+    templates=[
+        T("attempt_{int}_{int}_m_{int}_{int} TaskAttempt Transitioned from RUNNING to SUCCEEDED",
+          "org.apache.hadoop.mapreduce.v2.app.job.impl.TaskAttemptImpl"),
+        T("Progress of TaskAttempt attempt_{int}_{int}_m_{int}_{int} is : {float}",
+          "org.apache.hadoop.mapreduce.v2.app.job.impl.TaskAttemptImpl"),
+        T("container_{int}_{int}_{int}_{int} Container Transitioned from ACQUIRED to RUNNING",
+          "org.apache.hadoop.yarn.server.resourcemanager.rmcontainer.RMContainerImpl"),
+        T("Assigned container container_{int}_{int}_{int}_{int} to attempt_{int}_{int}_m_{int}_{int}",
+          "org.apache.hadoop.mapreduce.v2.app.rm.RMContainerAllocator"),
+        T("Reduce slow start threshold not met. completedMapsForReduceSlowstart {int}",
+          "org.apache.hadoop.mapreduce.v2.app.rm.RMContainerAllocator"),
+        T("Recalculating schedule, headroom={int}",
+          "org.apache.hadoop.mapreduce.v2.app.rm.RMContainerAllocator"),
+        T("Event Writer setup for JobId: job_{int}_{int}, File: {path}",
+          "org.apache.hadoop.mapreduce.jobhistory.JobHistoryEventHandler"),
+        T("Processing event of type TASK_ATTEMPT_FINISHED for task attempt attempt_{int}_{int}_m_{int}_{int}",
+          "org.apache.hadoop.mapreduce.jobhistory.JobHistoryEventHandler"),
+        T("Retrying connect to server: {host}/{ip}:{port}. Already tried {int} time(s)",
+          "org.apache.hadoop.ipc.Client"),
+        T("Address change detected. Old: {host}/{ip}:{port} New: {host}/{ip}:{port}",
+          "org.apache.hadoop.ipc.Client"),
+        T("Communication exception: java.net.SocketTimeoutException: {int} millis timeout while waiting for channel to be ready",
+          "org.apache.hadoop.mapred.Task"),
+        T("Task 'attempt_{int}_{int}_m_{int}_{int}' done.",
+          "org.apache.hadoop.mapred.Task"),
+        T("fetcher#{int} about to shuffle output of map attempt_{int}_{int}_m_{int}_{int} decomp: {int} len: {int} to MEMORY",
+          "org.apache.hadoop.mapreduce.task.reduce.Fetcher"),
+        T("closeInMemoryFile -> map-output of size: {int}, inMemoryMapOutputs.size() -> {int}, commitMemory -> {int}, usedMemory -> {int}",
+          "org.apache.hadoop.mapreduce.task.reduce.MergeManagerImpl"),
+    ],
+    rare_templates=[
+        T(f"Error cleaning up task {{id}} in {comp.split('.')[-1]} subsystem {i}",
+          comp)
+        for i, comp in enumerate(_RARE_COMPONENTS * 5)
+    ],
+    preprocess=[
+        r"attempt_\d+_\d+_m_\d+_\d+",
+        r"container_\d+_\d+_\d+_\d+",
+        r"job_\d+_\d+",
+        r"(\d{1,3}\.){3}\d{1,3}(:\d+)?",
+    ],
+    zipf_s=1.3,
+    seed=102,
+)

@@ -1,0 +1,54 @@
+"""HDFS — Hadoop Distributed File System DataNode/NameNode logs.
+
+Few, highly regular events dominated by block operations; both the real
+benchmark and this synthetic stand-in are near the easy end (the best
+parser of Zhu et al. reaches 1.0; Sequence-RTG reports 0.94).
+"""
+
+from repro.loghub.datasets._headers import hdfs_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+SPEC = DatasetSpec(
+    name="HDFS",
+    header=hdfs_header,
+    templates=[
+        T("Receiving block {blk} src: /{ip}:{port} dest: /{ip}:{port}",
+          "dfs.DataNode$DataXceiver"),
+        T("PacketResponder {int} for block {blk} terminating",
+          "dfs.DataNode$PacketResponder"),
+        T("Received block {blk} of size {int} from /{ip}",
+          "dfs.DataNode$PacketResponder"),
+        T("BLOCK* NameSystem.addStoredBlock: blockMap updated: {ip}:{port} is added to {blk} size {int}",
+          "dfs.FSNamesystem"),
+        T("BLOCK* NameSystem.allocateBlock: /usr/data/part-{int}. {blk}",
+          "dfs.FSNamesystem"),
+        T("Verification succeeded for {blk}",
+          "dfs.DataBlockScanner"),
+        T("Deleting block {blk} file {path}",
+          "dfs.FSDataset"),
+        T("BLOCK* ask {ip}:{port} to replicate {blk} to datanode(s) {ip}:{port}",
+          "dfs.FSNamesystem"),
+        T("BLOCK* NameSystem.delete: {blk} is added to invalidSet of {ip}:{port}",
+          "dfs.FSNamesystem"),
+        T("Starting thread to transfer block {blk} to {ip}:{port}",
+          "dfs.DataNode"),
+        T("Received block {blk} src: /{ip}:{port} dest: /{ip}:{port} of size {int}",
+          "dfs.DataNode$DataXceiver"),
+        T("writeBlock {blk} received exception java.io.IOException: Connection reset by peer",
+          "dfs.DataNode$DataXceiver"),
+        T("PendingReplicationMonitor timed out block {blk}",
+          "dfs.PendingReplicationBlocks$PendingReplicationMonitor"),
+    ],
+    rare_templates=[
+        T("Exception in receiveBlock for block {blk} java.io.IOException: Broken pipe",
+          "dfs.DataNode$DataXceiver"),
+    ],
+    preprocess=[
+        r"blk_-?\d+",
+        r"(\d{1,3}\.){3}\d{1,3}(:\d+)?",
+    ],
+    zipf_s=1.2,
+    seed=101,
+)

@@ -1,0 +1,56 @@
+"""HealthApp — mobile health application log.
+
+Reproduces the paper's HealthApp failure mode: on raw logs "Sequence-RTG
+was unable to correctly process their datetime stamp which involved
+time-parts without a leading zero for single digit hour, minute, or
+second values (e.g. 20171224-0:7:20:444)" (§IV).  Here the unpadded
+timestamps appear *in the content* of the heaviest templates via the
+``{badtime}`` slot: roughly half its draws contain a single-digit part,
+so the default scanner splits each affected event into a parsed-time and
+an unparsed-time pattern, while the pre-processed variant (timestamps
+already replaced by ``<*>``) is unaffected.  The future-work flag
+``allow_single_digit_time=True`` repairs the raw score (ablation bench).
+"""
+
+from repro.loghub.datasets._headers import healthapp_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+SPEC = DatasetSpec(
+    name="HealthApp",
+    header=healthapp_header,
+    templates=[
+        T("onStandStepChanged {int}", "Step_LSC"),
+        T("calculateCaloriesWithCache totalCalories={int} since {badtime}",
+          "Step_SPUtils"),
+        T("getTodayTotalDetailSteps = {badtime} steps {int}##{int}##{int}##{int}",
+          "Step_SPUtils"),
+        T("onExtend:{int} {int} {int} {int}", "Step_ExtSDM"),
+        T("processHandleBroadcastAction action:android.intent.action.SCREEN_ON",
+          "Step_StandReportReceiver"),
+        T("flush sensor data", "Step_LSC"),
+        T("upLoadHealthData errorCode = {int:3}", "HiH_HealthDataInsertStore"),
+        T("setTodayTotalDetailSteps={int}##{int}##{int}##{int}##{int}",
+          "Step_SPUtils"),
+        T("REPORT : {int} {int} {int} {float}", "Step_StandStepCounter"),
+        T("onReceive action: android.intent.action.SCREEN_OFF",
+          "Step_StandReportReceiver"),
+        T("screen status unknown", "Step_LSC"),
+        T("getUserPreference birthday={int} gender={int:2} height={int:3} weight={int:3}",
+          "HiH_UserInfoCache"),
+        T("aggregateDataCallback size={int:3}", "HiH_HealthKit"),
+        T("checkAppAliveReport cycle={int}", "Step_AliveReport"),
+    ],
+    rare_templates=[
+        T("db error code {int:4} during vacuum", "HiH_HealthDataStore"),
+        T("token refresh failed status={int:3}", "HiH_Account"),
+    ],
+    preprocess=[
+        # Zhu-style: timestamps are pre-identified and masked, which is
+        # why the pre-processed score does not show the FSM limitation
+        r"\d{8}-\d{1,2}:\d{1,2}:\d{1,2}(:\d{1,3})?",
+    ],
+    zipf_s=1.2,
+    seed=113,
+)

@@ -1,0 +1,50 @@
+"""HPC — high performance cluster hardware/state-change log.
+
+The real dataset mixes state-change events whose variable columns are
+pure-alpha words with small value pools, which sit under Sequence's
+merge threshold and split events (the paper scores 0.739 pre-processed —
+its second-worst dataset); the stand-in models that with bounded
+``{word:k}`` slots.
+"""
+
+from repro.loghub.datasets._headers import hpc_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+SPEC = DatasetSpec(
+    name="HPC",
+    header=hpc_header,
+    templates=[
+        T("Component State Change: Component \"{word:3}\" is in the unavailable state (HWID={int})",
+          "unix.hw"),
+        T("Link error on broadcast tree Interconnect-0T{port}:{port}",
+          "boot_cmd"),
+        T("ClusterFileSystem: There is no server for PanFS storage {word:8}",
+          "unix.fs"),
+        T("PSU status ( {word:6} {word:6} )", "unix.hw"),
+        T("Temperature ( ambient={int:3} ) exceeds warning threshold", "unix.hw"),
+        T("Fan speeds ( {int} {int} {int} {int} {int} {int} )", "unix.hw"),
+        T("node node-{int} has detected an available network connection on network {ip} via interface alt0",
+          "tbird_admin"),
+        T("node status {word:6} for node node-{int}", "node"),
+        T("boot (command {int:4}) initiated for node-{int}", "boot_cmd"),
+        T("halt (command {int:4}) initiated for node-{int}", "boot_cmd"),
+        T("running running (command {int:4}) node-{int}", "boot_cmd"),
+        T("Targeting domains:node-D{int} and nodes:node-[{int}-{int}] child of command {int:4}",
+          "domain"),
+        T("Message FIFO overflow detected on node-{int}", "unix.hw"),
+        T("risBoot command inconsistent with clusterAddMember for node-{int}", "risboot"),
+    ],
+    rare_templates=[
+        T("scsi disk error on node-{int} device {word:8}", "unix.hw"),
+        T("network adapter reset on node-{int} port {int:2}", "unix.hw"),
+        T("configuration conflict detected for domain node-D{int}", "domain"),
+    ],
+    preprocess=[
+        r"node-\d+",
+        r"(\d{1,3}\.){3}\d{1,3}",
+    ],
+    zipf_s=0.9,
+    seed=107,
+)

@@ -1,0 +1,67 @@
+"""Linux — /var/log/messages from a small server.
+
+The hardest mainstream dataset in the benchmark (best parser: 0.701;
+Sequence-RTG also 0.702): a diverse syslog mixture where several events
+differ only in small-pool alpha word slots (below any merge threshold)
+and a long tail of one-shot events.  The stand-in engineers both
+properties with ``{word:2..3}`` slots and a large rare-template list.
+"""
+
+from repro.loghub.datasets._headers import syslog_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+_RARE_SUBSYSTEMS = (
+    "hald", "gconfd", "portmap", "rpc.statd", "smartd", "atd", "acpid",
+    "gpm", "mcstrans", "irqbalance", "pcscd", "hcid", "sdpd", "apmd",
+)
+
+SPEC = DatasetSpec(
+    name="Linux",
+    header=syslog_header("combo"),
+    templates=[
+        T("authentication failure; logname= uid=0 euid=0 tty=NODEVssh ruser= rhost={host} user={user:3}",
+          "sshd(pam_unix)"),
+        T("session opened for user {user:3} by (uid={int:2})", "sshd(pam_unix)"),
+        T("session closed for user {user:3}", "sshd(pam_unix)"),
+        T("check pass; user unknown", "sshd(pam_unix)"),
+        T("connection from {ip} () at {word:2} Jul {int:2} 03:{int:2}:{int:2} 2005",
+          "ftpd"),
+        T("ANONYMOUS FTP LOGIN FROM {ip}, (anonymous)", "ftpd"),
+        T("authentication failure; logname= uid=0 euid=0 tty= ruser= rhost={host}",
+          "ftpd(pam_unix)"),
+        T("{int:2} Time(s): couldn't resolve hostname", "named"),
+        T("klogd {ver}, log source = /proc/kmsg started.", "klogd"),
+        T("Kernel command line: ro root=LABEL=/", "kernel"),
+        T("Memory: {int}k/{int}k available ({int}k kernel code, {int}k reserved, {int}k data, {int}k init, {int}k highmem)",
+          "kernel"),
+        T("CPU {int:2}: Intel(R) Pentium(R) 4 CPU {float}GHz stepping {int:2}",
+          "kernel"),
+        T("alias mapping IDE iomem region to {mem}", "kernel"),
+        T("audit({float}:{int}): initialized", "kernel"),
+        T("cups: cupsd {word:2} succeeded", "rc"),
+        T("crond startup succeeded", "rc"),
+        T("Did not receive identification string from {ip}", "sshd"),
+        T("warning: can't get client address: Connection reset by peer", "xinetd"),
+        T("logrotate: ALERT exited abnormally with [{int:2}]", "logrotate"),
+    ],
+    rare_templates=[
+        T(f"{daemon} startup {phase} code {{int:4}}", daemon)
+        for daemon in _RARE_SUBSYSTEMS
+        for phase in ("succeeded", "failed")
+    ] + [
+        T("kernel: Inspecting {path}", "kernel"),
+        T("kernel: Loaded {int} symbols from {path}", "kernel"),
+        T("kernel: usb.c: registered new driver {word:8}", "kernel"),
+        T("kernel: PCI: Found IRQ {int:2} for device {int:2}:{int:2}.{int:2}", "kernel"),
+        T("init: Switching to runlevel: {int:2}", "init"),
+        T("modprobe: FATAL: Module {word:8} not found.", "modprobe"),
+    ],
+    preprocess=[
+        r"(\d{1,3}\.){3}\d{1,3}(:\d+)?",
+        r"0x[0-9a-f]+",
+    ],
+    zipf_s=1.0,
+    seed=110,
+)

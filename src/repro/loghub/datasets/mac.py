@@ -1,0 +1,98 @@
+"""Mac — macOS system.log.
+
+The most template-diverse dataset in LogHub (hundreds of events in the
+2k sample).  The stand-in combines kernel/WiFi chatter with a large
+programmatic tail of per-daemon one-shot events.
+"""
+
+from repro.loghub.datasets._headers import syslog_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+# Rare events: every daemon logs its *own* one-off phrases (real macOS
+# daemons emit daemon-specific messages, not a shared vocabulary, and a
+# shared phrase column would let the analyser merge unrelated daemons).
+_RARE_EVENTS = (
+    ("corecaptured", "CCIOReporterFormatter::addCaptureDataToReport stream count {int}"),
+    ("corecaptured", "rebuilding capture index after wake"),
+    ("QQ", "sqlite vfs registered handle {int}"),
+    ("QQ", "message queue drained in {int} ms"),
+    ("Safari", "tab heap compaction reclaimed {int} pages"),
+    ("Safari", "favicon cache pruned"),
+    ("WeChat", "voip session keepalive interval {int}"),
+    ("WeChat", "sync backlog cleared"),
+    ("sandboxd", "profile compilation cache warmed"),
+    ("sandboxd", "extension revoked for token {int}"),
+    ("networkd", "flow divert rule table rebuilt entries {int}"),
+    ("networkd", "interface ranking recomputed"),
+    ("symptomsd", "ratelimiter bucket refill {int}"),
+    ("symptomsd", "connectivity verdict cached"),
+    ("mDNSResponder", "goodbye packets scheduled {int}"),
+    ("mDNSResponder", "cache rescued records {int}"),
+    ("UserEventAgent", "com.apple.cts activity deferred"),
+    ("UserEventAgent", "disk arbitration event coalesced"),
+    ("locationd", "geofence region recalibrated radius {int}"),
+    ("locationd", "wifi scan throttled"),
+    ("configd", "dns configuration generation {int} pushed"),
+    ("configd", "proxy pac fetch deferred"),
+    ("WindowServer", "display reconfig pass {int} complete"),
+    ("WindowServer", "gl compositor context rebuilt"),
+    ("secd", "keychain item migration batch {int}"),
+    ("secd", "trust cache refresh complete"),
+    ("CalendarAgent", "alarm queue rescheduled {int} entries"),
+    ("CalendarAgent", "caldav inbox scan finished"),
+    ("nsurlsessiond", "background transfer quota renewed {int}"),
+    ("nsurlsessiond", "connection pool trimmed"),
+    ("cloudd", "zone fetch watermark advanced {int}"),
+    ("cloudd", "push subscription renewed"),
+    ("bird", "document token escrow {int} committed"),
+    ("bird", "icloud drive snapshot sealed"),
+    ("sharingd", "airdrop browse window extended {int} s"),
+    ("sharingd", "handoff payload compacted"),
+    ("tccd", "prompt suppression window {int} s armed"),
+    ("tccd", "attribution chain resolved"),
+    ("hidd", "digitizer calibration delta {int}"),
+    ("hidd", "event service latency probe armed"),
+)
+
+SPEC = DatasetSpec(
+    name="Mac",
+    header=syslog_header("calvisitor-10-105-160-95"),
+    templates=[
+        T("ARPT: {float}: wl0: wl_update_tcpkeep_seq: Original Seq: {int}, Ack: {int}, Win size: {int}",
+          "kernel"),
+        T("ARPT: {float}: AirPort_Brcm43xx::powerChange: System {word:6}", "kernel"),
+        T("AppleCamIn::systemWakeCall - messageType = 0x{hex8}", "kernel"),
+        T("en0: channel changed to {int:3}", "kernel"),
+        T("IO80211AWDLPeerManager::setAwdlOperatingMode Setting the AWDL operation mode from {word:3} to {word:6}",
+          "kernel"),
+        T("RTC: PowerByCalendarDate setting ignored", "kernel"),
+        T("AirPort: Link Down on awdl0. Reason {int:2} (too many missed beacons).", "kernel"),
+        T("Bluetooth -- LE is supported - Disable LE meta event", "kernel"),
+        T("Previous sleep cause: {int:2}", "kernel"),
+        T("Wake reason: ARPT (Network)", "kernel"),
+        T("[HID] [ATC] AppleDeviceManagementHIDEventService::processWakeReason Wake reason: {word:6} (0x{hex8})",
+          "kernel"),
+        T("Sandbox: {word:8}({int}) deny(1) mach-lookup com.apple.{word:8}", "sandboxd"),
+        T("CCFile::captureLogRun Skipping current file Dir file [{int}-{int}-{int}_{int},{int},{int}.{int}]",
+          "corecaptured"),
+        T("Received Capture Event", "corecaptured"),
+        T("QQ: DB Path: {path}", "QQ"),
+        T("QQ: FA||Url||taskID[{int}] dealloc", "QQ"),
+        T("Basement: Layout changed, rebuilding window list", "WindowServer"),
+        T("hostname changed to {host}", "configd"),
+        T("network changed: v4(en0!:{ip}) DNS! Proxy! SMB", "configd"),
+        T("Unknown attribute: kCBMsgArgDeviceAddress", "bluetoothd"),
+    ],
+    rare_templates=[
+        T(f"{daemon}: {phrase}", daemon) for daemon, phrase in _RARE_EVENTS
+    ],
+    preprocess=[
+        r"0x[0-9a-f]+",
+        r"(\d{1,3}\.){3}\d{1,3}(:\d+)?",
+        r"/(?:[a-zA-Z0-9_.-]+/)+[a-zA-Z0-9_.-]+",
+    ],
+    zipf_s=1.0,
+    seed=111,
+)

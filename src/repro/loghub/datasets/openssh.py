@@ -1,0 +1,49 @@
+"""OpenSSH — sshd authentication log.
+
+Authentication events whose user slots draw from a pool wide enough to
+merge into variables; Sequence-RTG beats the benchmark's best here
+(0.975 vs 0.925 in Table II) because it needs no pre-processing to spot
+the address and port fields.
+"""
+
+from repro.loghub.datasets._headers import syslog_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+SPEC = DatasetSpec(
+    name="OpenSSH",
+    header=syslog_header("LabSZ"),
+    templates=[
+        T("Failed password for invalid user {user:8} from {ip} port {port} ssh2",
+          "sshd"),
+        T("Failed password for root from {ip} port {port} ssh2", "sshd"),
+        T("Accepted password for {user:8} from {ip} port {port} ssh2", "sshd"),
+        T("pam_unix(sshd:auth): authentication failure; logname= uid=0 euid=0 tty=ssh ruser= rhost={ip} user={user:8}",
+          "sshd"),
+        T("pam_unix(sshd:auth): check pass; user unknown", "sshd"),
+        T("Received disconnect from {ip}: 11: Bye Bye [preauth]", "sshd"),
+        T("Invalid user {user:8} from {ip}", "sshd"),
+        T("input_userauth_request: invalid user {user:8} [preauth]", "sshd"),
+        T("Connection closed by {ip} [preauth]", "sshd"),
+        T("reverse mapping checking getaddrinfo for {host} [{ip}] failed - POSSIBLE BREAK-IN ATTEMPT!",
+          "sshd"),
+        T("message repeated {int:2} times: [ Failed password for root from {ip} port {port} ssh2]",
+          "sshd"),
+        T("Did not receive identification string from {ip}", "sshd"),
+        T("error: Received disconnect from {ip}: 3: com.jcraft.jsch.JSchException: Auth fail [preauth]",
+          "sshd"),
+        T("pam_unix(sshd:session): session opened for user {user:8} by (uid={int:2})",
+          "sshd"),
+        T("pam_unix(sshd:session): session closed for user {user:8}", "sshd"),
+    ],
+    rare_templates=[
+        T("fatal: Write failed: Connection reset by peer [preauth]", "sshd"),
+        T("error: connect_to {host} port {port}: failed.", "sshd"),
+    ],
+    preprocess=[
+        r"(\d{1,3}\.){3}\d{1,3}",
+    ],
+    zipf_s=1.2,
+    seed=115,
+)

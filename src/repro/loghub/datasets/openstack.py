@@ -1,0 +1,68 @@
+"""OpenStack — nova compute/api logs.
+
+Long lines with request ids, instance UUIDs and HTTP status rows; both
+the benchmark and this stand-in land mid-table.
+"""
+
+from repro.loghub.datasets._headers import openstack_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+SPEC = DatasetSpec(
+    name="OpenStack",
+    header=openstack_header,
+    templates=[
+        T('{ip} "GET /v2/{hex16}/servers/detail HTTP/1.1" status: {int:4} len: {int} time: {float}',
+          "nova.osapi_compute.wsgi.server"),
+        T('{ip} "POST /v2/{hex16}/os-server-external-events HTTP/1.1" status: {int:4} len: {int} time: {float}',
+          "nova.osapi_compute.wsgi.server"),
+        T("Running cmd (subprocess): /usr/bin/nova-manage", "nova.utils"),
+        T("Running cmd (subprocess): /usr/sbin/iptables-save", "nova.utils"),
+        T("[instance: {uuid}] VM Started (Lifecycle Event)",
+          "nova.compute.manager"),
+        T("[instance: {uuid}] VM Paused (Lifecycle Event)",
+          "nova.compute.manager"),
+        T("[instance: {uuid}] VM Resumed (Lifecycle Event)",
+          "nova.compute.manager"),
+        T("[instance: {uuid}] During sync_power_state the instance has a pending task (spawning). Skip.",
+          "nova.compute.manager"),
+        T("[instance: {uuid}] Took {float} seconds to build instance.",
+          "nova.compute.manager"),
+        T("[instance: {uuid}] Took {float} seconds to spawn the instance on the hypervisor.",
+          "nova.compute.manager"),
+        T("[instance: {uuid}] Creating image",
+          "nova.virt.libvirt.driver"),
+        T("[instance: {uuid}] Deleting instance files {path}",
+          "nova.virt.libvirt.driver"),
+        T("[instance: {uuid}] Deletion of {path} complete",
+          "nova.virt.libvirt.driver"),
+        T("[instance: {uuid}] Instance destroyed successfully.",
+          "nova.virt.libvirt.driver"),
+        T("Total usable vcpus: {int:3}, total allocated vcpus: {int:3}",
+          "nova.compute.resource_tracker"),
+        T("Final resource view: name={word:2} phys_ram={int}MB used_ram={int}MB phys_disk={int}GB used_disk={int}GB total_vcpus={int:3} used_vcpus={int:3} pci_stats=[]",
+          "nova.compute.resource_tracker"),
+        T("Auditing locally available compute resources for node {word:2}",
+          "nova.compute.resource_tracker"),
+        T("Active base files: {path}",
+          "nova.virt.libvirt.imagecache"),
+        T('{ip} "GET /v2/{hex16}/servers/{uuid} HTTP/1.1" status: {int:4} len: {int} time: {float}',
+          "nova.osapi_compute.wsgi.server"),
+    ],
+    rare_templates=[
+        T("[instance: {uuid}] Ignoring supplied device name: /dev/{word:8}",
+          "nova.compute.api"),
+        T("Unexpected error while checking compute node {int}",
+          "nova.compute.manager"),
+        T("[req-{hex8}] Error updating resources for node {word:2}: DiskNotFound",
+          "nova.compute.manager"),
+    ],
+    preprocess=[
+        r"[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}",
+        r"(\d{1,3}\.){3}\d{1,3}(:\d+)?",
+        r"/(?:[a-zA-Z0-9_.-]+/)+[a-zA-Z0-9_.-]+",
+    ],
+    zipf_s=0.7,
+    seed=105,
+)

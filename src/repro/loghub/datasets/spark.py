@@ -1,0 +1,58 @@
+"""Spark — executor and block manager logs.
+
+Very regular task/block events; both the benchmark and this stand-in sit
+near the top of the accuracy table.
+"""
+
+from repro.loghub.datasets._headers import spark_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+SPEC = DatasetSpec(
+    name="Spark",
+    header=spark_header,
+    templates=[
+        T("Finished task {float} in stage {float} (TID {int}). {int} bytes result sent to driver",
+          "executor.Executor"),
+        T("Running task {float} in stage {float} (TID {int})",
+          "executor.Executor"),
+        T("Got assigned task {int}",
+          "executor.CoarseGrainedExecutorBackend"),
+        T("Found block rdd_{int}_{int} locally",
+          "storage.BlockManager"),
+        T("Block broadcast_{int} stored as values in memory (estimated size {float} KB, free {float} MB)",
+          "storage.MemoryStore"),
+        T("Block broadcast_{int}_piece{int} stored as bytes in memory (estimated size {float} KB, free {float} MB)",
+          "storage.MemoryStore"),
+        T("Started reading broadcast variable {int}",
+          "broadcast.TorrentBroadcast"),
+        T("Reading broadcast variable {int} took {int} ms",
+          "broadcast.TorrentBroadcast"),
+        T("Updated info of block broadcast_{int}_piece{int}",
+          "storage.BlockManagerInfo"),
+        T("Removed broadcast_{int}_piece{int} on {host}:{port} in memory (size: {float} KB, free: {float} MB)",
+          "storage.BlockManagerInfo"),
+        T("ensureFreeSpace({int}) called with curMem={int}, maxMem={int}",
+          "storage.MemoryStore"),
+        T("Input split: hdfs://{host}/user/data/part-{int}:{int}+{int}",
+          "rdd.HadoopRDD"),
+        T("Getting {int} non-empty blocks out of {int} blocks",
+          "storage.ShuffleBlockFetcherIterator"),
+        T("Started {int} remote fetches in {int} ms",
+          "storage.ShuffleBlockFetcherIterator"),
+    ],
+    rare_templates=[
+        T("Exception in task {float} in stage {float} (TID {int}): java.io.IOException",
+          "executor.Executor"),
+        T("Lost connection to {host}:{port}, reconnecting",
+          "network.client.TransportClient"),
+    ],
+    preprocess=[
+        r"rdd_\d+_\d+",
+        r"broadcast_\d+(_piece\d+)?",
+        r"(\d{1,3}\.){3}\d{1,3}(:\d+)?",
+    ],
+    zipf_s=1.2,
+    seed=103,
+)

@@ -1,0 +1,52 @@
+"""Thunderbird — Sandia supercomputer syslog stream.
+
+A syslog mixture: cron sessions, kernel messages, daemon chatter, plus a
+tail of rare administrative events.
+"""
+
+from repro.loghub.datasets._headers import thunderbird_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+SPEC = DatasetSpec(
+    name="Thunderbird",
+    header=thunderbird_header,
+    templates=[
+        T("session opened for user root by (uid={int:2})", "crond(pam_unix)"),
+        T("session closed for user root", "crond(pam_unix)"),
+        T("({user:6}) CMD (run-parts /etc/cron.hourly)", "crond"),
+        T("connect from {ip} ({ip})", "in.rshd"),
+        T("check pass; user unknown", "sshd(pam_unix)"),
+        T("authentication failure; logname= uid={int:2} euid={int:2} tty=NODEVssh ruser= rhost={host}",
+          "sshd(pam_unix)"),
+        T("Shutting down succeeded", "xinetd"),
+        T("Starting xinetd succeeded", "xinetd"),
+        T("synchronized to {ip}, stratum {int:2}", "ntpd"),
+        T("kernel: imklog {ver}, log source = /proc/kmsg started.", "kernel"),
+        T("kernel: martian source {ip} from {ip}, on dev eth{int:2}", "kernel"),
+        T("kernel: ll header: {mac}", "kernel"),
+        T("DHCPREQUEST on eth{int:2} to {ip} port {port}", "dhclient"),
+        T("DHCPACK from {ip}", "dhclient"),
+        T("bound to {ip} -- renewal in {int} seconds.", "dhclient"),
+        T("data_thread() got not answer from any [{word:3}] datasource", "envmond"),
+        T("Monitor_Thread::monitor - pc={int} ib_pc={int}", "ibmon"),
+    ],
+    rare_templates=[
+        T("pbs_mom: task_check, cannot tm_reply to {int} task {int}", "pbs_mom"),
+        T("mount request from unknown host {ip} for {path}", "mountd"),
+        T("rpc.statd: gethostbyname error for {host}", "rpc.statd"),
+        T("avahi-daemon: invalid query packet from {ip}", "avahi"),
+        T("irqbalance: irq {int} affinity set failed", "irqbalance"),
+        T("smartd: device {path} opened", "smartd"),
+        T("gmond: error {int} sending metric to {ip}", "gmond"),
+        T("console kernel panic: fatal exception at {mem}", "kernel"),
+    ],
+    preprocess=[
+        r"(\d{1,3}\.){3}\d{1,3}(:\d+)?",
+        r"([0-9a-f]{2}:){5}[0-9a-f]{2}",
+        r"0x[0-9a-f]+",
+    ],
+    zipf_s=1.2,
+    seed=108,
+)

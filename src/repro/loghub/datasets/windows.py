@@ -1,0 +1,62 @@
+"""Windows — CBS (component based servicing) log.
+
+Highly repetitive servicing-session lines; near the top of the accuracy
+table for every parser.
+"""
+
+from repro.loghub.datasets._headers import windows_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+SPEC = DatasetSpec(
+    name="Windows",
+    header=windows_header,
+    templates=[
+        T("Loaded Servicing Stack v{ver} with Core: {winpath}", "CBS"),
+        T("Ending TrustedInstaller initialization.", "CBS"),
+        T("Starting TrustedInstaller finalization.", "CBS"),
+        T("Ending TrustedInstaller finalization.", "CBS"),
+        T("Startup processing thread terminated normally", "CBS"),
+        T("TrustedInstaller service starts successfully.", "CBS"),
+        T("SQM: Initializing online with Windows opt-in: False", "CBS"),
+        T("SQM: Cleaning up report files older than {int:3} days.", "CBS"),
+        T("SQM: Requesting upload of all unsent reports.", "CBS"),
+        T("SQM: Failed to start upload with file pattern: {winpath} flags: 0x{hex8} [HRESULT = 0x{hex8} - E_FAIL]", "CBS"),
+        T("SQM: Queued {int:3} file(s) for upload with pattern: {winpath} flags: 0x{hex8}", "CBS"),
+        T("SQM: Warning: Failed to upload all unsent reports. [HRESULT = 0x{hex8} - E_FAIL]", "CBS"),
+        T("Scavenge: Starting scavenge of package store.", "CBS"),
+        T("Session: {int}_{int} initialized by client WindowsUpdateAgent.", "CBS"),
+        T("Session: {int}_{int} finalized. Reboot required: no [HRESULT = 0x{hex8} - S_OK]", "CBS"),
+        T("Read out cached package applicability for package: Package_for_KB{int}~31bf3856ad364e35~amd64~~{ver}, ApplicableState: {int:3}, CurrentState: {int:3}", "CBS"),
+        T("Appl: Evaluating package applicability for package Package_for_KB{int}~31bf3856ad364e35~amd64~~{ver}", "CSI"),
+        T("Warning: Unrecognized packageExtended attribute.", "CBS"),
+    ],
+    rare_templates=[
+        T("Failed to internally open package. [HRESULT = 0x{hex8} - CBS_E_INVALID_PACKAGE]", "CBS"),
+        T("Failed to resolve package 'Package_for_KB{int}' [HRESULT = 0x{hex8}]", "CBS"),
+    ],
+    preprocess=[
+        r"0x[0-9a-f]+",
+        r"KB\d+",
+        r"\d+_\d+",
+    ],
+    zipf_s=1.4,
+    seed=109,
+)
+
+# Windows paths need a custom slot: register it lazily so importing this
+# module is enough for templates using {winpath}.
+from repro.loghub import generator as _generator  # noqa: E402
+
+
+def _f_winpath(rng):
+    parts = rng.randint(1, 3)
+    body = "\\".join(
+        rng.choice(("Windows", "Servicing", "winsxs", "System32", "Temp"))
+        for _ in range(parts)
+    )
+    return f"C:\\{body}\\{rng.choice(('Stack', 'pending.xml', 'sqm.dat', 'cbs.log'))}"
+
+
+_generator.FILLERS.setdefault("winpath", _f_winpath)

@@ -1,0 +1,54 @@
+"""Zookeeper — quorum peer / NIO server connection logs."""
+
+from repro.loghub.datasets._headers import zookeeper_header
+from repro.loghub.generator import DatasetSpec, Template
+
+T = Template
+
+SPEC = DatasetSpec(
+    name="Zookeeper",
+    header=zookeeper_header,
+    templates=[
+        T("Accepted socket connection from /{ip}:{port}",
+          "NIOServerCnxnFactory"),
+        T("Client attempting to establish new session at /{ip}:{port}",
+          "ZooKeeperServer"),
+        T("Established session 0x{hex16} with negotiated timeout {int} for client /{ip}:{port}",
+          "ZooKeeperServer"),
+        T("Closed socket connection for client /{ip}:{port} which had sessionid 0x{hex16}",
+          "NIOServerCnxn"),
+        T("Expiring session 0x{hex16}, timeout of {int}ms exceeded",
+          "ZooKeeperServer"),
+        T("Processed session termination for sessionid: 0x{hex16}",
+          "PrepRequestProcessor"),
+        T("Received connection request /{ip}:{port}",
+          "QuorumCnxManager$Listener"),
+        T("Notification: {int} (n.leader), 0x{hex16} (n.zxid), 0x{hex8} (n.round), LOOKING (n.state), {int} (n.sid), 0x{hex8} (n.peerEPoch), FOLLOWING (my state)",
+          "FastLeaderElection"),
+        T("Connection broken for id {int}, my id = {int}, error = java.io.EOFException",
+          "QuorumCnxManager$RecvWorker"),
+        T("Interrupting SendWorker thread from recv queue for id {int}",
+          "QuorumCnxManager$RecvWorker"),
+        T("Send worker leaving thread id {int}",
+          "QuorumCnxManager$SendWorker"),
+        T("caught end of stream exception: Unable to read additional data from client sessionid 0x{hex16}, likely client has closed socket",
+          "NIOServerCnxn"),
+        T("Snapshotting: 0x{hex16} to {path}",
+          "FileTxnSnapLog"),
+        T("Reading snapshot {path}",
+          "FileSnap"),
+    ],
+    rare_templates=[
+        T("Exception causing close of session 0x{hex16} due to java.io.IOException",
+          "NIOServerCnxn"),
+        T("Got user-level KeeperException when processing sessionid:0x{hex16} type:create cxid:0x{hex8} zxid:0x{hex16} txntype:-1 reqpath:n/a Error Path:{path} Error:KeeperErrorCode = NodeExists",
+          "PrepRequestProcessor"),
+    ],
+    preprocess=[
+        r"0x[0-9a-f]+",
+        r"(\d{1,3}\.){3}\d{1,3}(:\d+)?",
+        r"/(?:[a-z]+/)+[a-zA-Z.]+",
+    ],
+    zipf_s=1.3,
+    seed=104,
+)

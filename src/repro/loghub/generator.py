@@ -1,0 +1,354 @@
+"""Labelled log dataset generator.
+
+Templates are written in a small slot language: ``{type}`` marks a
+variable slot filled by a typed generator, ``{type:k}`` bounds the slot
+to a pool of *k* distinct values (which controls whether the analyser's
+merge heuristics see the position as variable).  Everything else is
+static text.  The generator produces, per line:
+
+* ``content`` — the message body with slots filled;
+* ``raw`` — dataset header (timestamp, level, component, ...) + content;
+* ``preprocessed`` — content after the dataset's Zhu-style courtesy
+  regexes (IPs, block ids, ... → ``<*>``), mirroring the pre-processing
+  the benchmark of Zhu et al. applies before parsing;
+* ``event_id`` — ground-truth event label (E1, E2, ...).
+
+Rare templates receive one to three lines each (the long tail that
+triggers the paper's "only one or two examples" limitation); remaining
+lines are distributed over the common templates by a Zipf law.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro._util.sampling import ZipfSampler
+
+__all__ = [
+    "DatasetSpec",
+    "Template",
+    "LabeledDataset",
+    "LogLine",
+    "generate",
+    "FILLERS",
+]
+
+# ---------------------------------------------------------------------------
+# slot fillers
+# ---------------------------------------------------------------------------
+
+_WORDS = (
+    "alpha bravo charlie delta echo foxtrot golf hotel india juliet kilo lima "
+    "mike november oscar papa quebec romeo sierra tango uniform victor whiskey "
+    "xray yankee zulu"
+).split()
+
+_USERS = (
+    "root admin alice bob carol dave erin frank grace heidi ivan judy mallory "
+    "nobody oliver peggy sybil trent victor walter"
+).split()
+
+_HOST_PARTS = ("node", "worker", "db", "web", "cache", "mon", "io", "gpu")
+_DOMAINS = ("example.com", "cluster.local", "dc.corp", "cse.cuhk.edu.hk")
+
+_PATH_DIRS = ("var", "usr", "etc", "opt", "home", "srv", "tmp", "data")
+_PATH_FILES = ("messages", "app.log", "core", "config.xml", "data.db", "run.pid")
+
+
+def _f_int(rng: random.Random) -> str:
+    return str(rng.randint(0, 99999))
+
+
+def _f_float(rng: random.Random) -> str:
+    return f"{rng.uniform(0, 1000):.2f}"
+
+
+def _f_ip(rng: random.Random) -> str:
+    return ".".join(str(rng.randint(1, 254)) for _ in range(4))
+
+
+def _f_port(rng: random.Random) -> str:
+    return str(rng.randint(1024, 65535))
+
+
+def _f_hex8(rng: random.Random) -> str:
+    # force one letter so the token never degenerates into a pure
+    # integer (that int/alnum flip is the *Proxifier* limitation and
+    # must not leak into every dataset using hex ids)
+    return f"{rng.getrandbits(28):07x}{rng.choice('abcdef')}"
+
+
+def _f_hex16(rng: random.Random) -> str:
+    return f"{rng.getrandbits(60):015x}{rng.choice('abcdef')}"
+
+
+def _f_blk(rng: random.Random) -> str:
+    sign = "-" if rng.random() < 0.4 else ""
+    return f"blk_{sign}{rng.randint(10**15, 10**19)}"
+
+
+def _f_id(rng: random.Random) -> str:
+    return f"task_{rng.randint(1, 9999)}_{rng.randint(0, 99)}"
+
+
+def _f_user(rng: random.Random) -> str:
+    return rng.choice(_USERS)
+
+
+def _f_word(rng: random.Random) -> str:
+    return rng.choice(_WORDS)
+
+
+def _f_path(rng: random.Random) -> str:
+    depth = rng.randint(2, 4)
+    dirs = "/".join(rng.choice(_PATH_DIRS) for _ in range(depth))
+    return f"/{dirs}/{rng.choice(_PATH_FILES)}"
+
+
+def _f_url(rng: random.Random) -> str:
+    return f"http://{_f_host(rng)}/{rng.choice(_PATH_DIRS)}?id={rng.randint(1, 999)}"
+
+
+def _f_host(rng: random.Random) -> str:
+    return f"{rng.choice(_HOST_PARTS)}{rng.randint(1, 64):02d}.{rng.choice(_DOMAINS)}"
+
+
+def _f_duration(rng: random.Random) -> str:
+    return f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}"
+
+
+def _f_mem(rng: random.Random) -> str:
+    return f"0x{rng.getrandbits(32):08x}"
+
+
+def _f_pid(rng: random.Random) -> str:
+    return str(rng.randint(100, 32768))
+
+
+def _f_ver(rng: random.Random) -> str:
+    return f"{rng.randint(1, 5)}.{rng.randint(0, 20)}.{rng.randint(0, 99)}"
+
+
+def _f_mac(rng: random.Random) -> str:
+    return ":".join(f"{rng.getrandbits(8):02x}" for _ in range(6))
+
+
+def _f_uuid(rng: random.Random) -> str:
+    return (
+        f"{rng.getrandbits(32):08x}-{rng.getrandbits(16):04x}-"
+        f"{rng.getrandbits(16):04x}-{rng.getrandbits(16):04x}-"
+        f"{rng.getrandbits(48):012x}"
+    )
+
+
+def _f_core(rng: random.Random) -> str:
+    """BGL-style midplane location code (R02-M1-N0-C:J12-U11)."""
+    return (
+        f"R{rng.randint(0, 63):02d}-M{rng.randint(0, 1)}-N{rng.randint(0, 15)}"
+        f"-C:J{rng.randint(0, 17):02d}-U{rng.randint(0, 63):02d}"
+    )
+
+
+def _f_sizeb(rng: random.Random) -> str:
+    """Proxifier-style size: '426 B' or '1.13 KB' (different token shapes)."""
+    if rng.random() < 0.5:
+        return f"{rng.randint(1, 999)} B"
+    return f"{rng.uniform(1, 900):.2f} KB"
+
+
+def _f_alnumint(rng: random.Random) -> str:
+    """The Proxifier limitation: sometimes pure integer, sometimes alnum.
+
+    "Proxifier had a variable that was sometimes alphanumeric and
+    sometimes pure integer.  This resulted in two patterns created for
+    one event, rendering nearly 50% of the results invalid." (§IV)
+    """
+    n = rng.randint(1, 512)
+    if rng.random() < 0.5:
+        return str(n)
+    return f"{n}K"
+
+
+def _f_lifetime(rng: random.Random) -> str:
+    """Proxifier lifetime: padded '00:01' half the time, '1:23:45' else.
+
+    The unpadded form has a single-digit hour, which the default
+    datetime FSM rejects, so raw Proxifier events split on top of the
+    integer/alphanumeric flip (paper: raw 0.402 vs pre-processed 0.643).
+    """
+    if rng.random() < 0.5:
+        return f"{rng.randint(0, 9):02d}:{rng.randint(0, 59):02d}"
+    return f"{rng.randint(1, 9)}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}"
+
+
+def _f_badtime(rng: random.Random) -> str:
+    """The HealthApp limitation: time parts without leading zeros.
+
+    Roughly half the draws contain a single-digit hour/minute/second
+    (e.g. ``20171224-0:7:20:444``), which the default datetime FSM
+    cannot parse (§IV "Limitations"); the other half are fully padded.
+    """
+    if rng.random() < 0.5:
+        h, m, s = rng.randint(0, 9), rng.randint(0, 9), rng.randint(0, 9)
+        return f"20171224-{h}:{m}:{s}:{rng.randint(100, 999)}"
+    h, m, s = rng.randint(10, 23), rng.randint(10, 59), rng.randint(10, 59)
+    return f"20171224-{h}:{m}:{s}:{rng.randint(100, 999)}"
+
+
+FILLERS: dict[str, Callable[[random.Random], str]] = {
+    "int": _f_int,
+    "float": _f_float,
+    "ip": _f_ip,
+    "port": _f_port,
+    "hex8": _f_hex8,
+    "hex16": _f_hex16,
+    "blk": _f_blk,
+    "id": _f_id,
+    "user": _f_user,
+    "word": _f_word,
+    "path": _f_path,
+    "url": _f_url,
+    "host": _f_host,
+    "duration": _f_duration,
+    "mem": _f_mem,
+    "pid": _f_pid,
+    "ver": _f_ver,
+    "mac": _f_mac,
+    "uuid": _f_uuid,
+    "core": _f_core,
+    "sizeb": _f_sizeb,
+    "alnumint": _f_alnumint,
+    "lifetime": _f_lifetime,
+    "badtime": _f_badtime,
+}
+
+_SLOT_RE = re.compile(r"\{([a-z0-9]+)(?::(\d+))?\}")
+
+
+# ---------------------------------------------------------------------------
+# dataset specification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Template:
+    """One event template with an optional logging component."""
+
+    text: str
+    component: str = ""
+
+
+@dataclass(slots=True)
+class LogLine:
+    """One generated, labelled log line."""
+
+    raw: str
+    content: str
+    preprocessed: str
+    event_id: str
+
+
+@dataclass(slots=True)
+class DatasetSpec:
+    """Declarative description of one synthetic LogHub dataset."""
+
+    name: str
+    templates: list[Template]
+    rare_templates: list[Template] = field(default_factory=list)
+    #: callable(rng, component) -> header string prefix (with trailing space)
+    header: Callable[[random.Random, str], str] = lambda rng, c: ""
+    #: Zhu-style courtesy regexes applied to content → preprocessed
+    preprocess: list[str] = field(default_factory=list)
+    zipf_s: float = 1.5
+    seed: int = 0
+
+
+@dataclass(slots=True)
+class LabeledDataset:
+    """A generated dataset plus its ground truth."""
+
+    name: str
+    lines: list[LogLine]
+    n_events: int
+
+    def truth(self) -> list[str]:
+        return [line.event_id for line in self.lines]
+
+    def contents(self) -> list[str]:
+        return [line.content for line in self.lines]
+
+    def raws(self) -> list[str]:
+        return [line.raw for line in self.lines]
+
+    def preprocessed(self) -> list[str]:
+        return [line.preprocessed for line in self.lines]
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+
+
+def _fill(template: str, rng: random.Random, pools: dict[tuple[str, int], list[str]]):
+    """Fill slots in *template*; bounded slots draw from cached pools."""
+
+    def replace(match: re.Match) -> str:
+        kind = match.group(1)
+        filler = FILLERS.get(kind)
+        if filler is None:
+            raise KeyError(f"unknown slot type {{{kind}}} in template {template!r}")
+        bound = match.group(2)
+        if bound is None:
+            return filler(rng)
+        k = int(bound)
+        pool_key = (kind, k)
+        pool = pools.get(pool_key)
+        if pool is None:
+            pool_rng = random.Random(hash(pool_key) & 0xFFFFFFFF)
+            pool = list(dict.fromkeys(filler(pool_rng) for _ in range(k * 4)))[:k]
+            pools[pool_key] = pool
+        return rng.choice(pool)
+
+    return _SLOT_RE.sub(replace, template)
+
+
+def generate(spec: DatasetSpec, n: int = 2000, seed: int | None = None) -> LabeledDataset:
+    """Generate a deterministic *n*-line labelled sample of *spec*."""
+    rng = random.Random(spec.seed if seed is None else seed)
+    all_templates = list(spec.templates) + list(spec.rare_templates)
+    event_ids = [f"E{i + 1}" for i in range(len(all_templates))]
+    compiled_preprocess = [re.compile(p) for p in spec.preprocess]
+    pools: dict[tuple[str, int], list[str]] = {}
+
+    # rare templates: 1-3 lines each
+    schedule: list[int] = []
+    for rare_idx in range(len(spec.templates), len(all_templates)):
+        schedule.extend([rare_idx] * rng.randint(1, 3))
+    if len(schedule) > n:
+        schedule = schedule[:n]
+
+    # the remainder follows a Zipf law over the common templates
+    zipf = ZipfSampler(len(spec.templates), s=spec.zipf_s, seed=rng.randrange(2**31))
+    schedule.extend(zipf.sample_many(n - len(schedule)))
+    rng.shuffle(schedule)
+
+    lines: list[LogLine] = []
+    for template_idx in schedule:
+        template = all_templates[template_idx]
+        content = _fill(template.text, rng, pools)
+        raw = spec.header(rng, template.component) + content
+        preprocessed = content
+        for regex in compiled_preprocess:
+            preprocessed = regex.sub("<*>", preprocessed)
+        lines.append(
+            LogLine(
+                raw=raw,
+                content=content,
+                preprocessed=preprocessed,
+                event_id=event_ids[template_idx],
+            )
+        )
+    return LabeledDataset(name=spec.name, lines=lines, n_events=len(all_templates))

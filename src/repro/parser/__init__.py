@@ -1,0 +1,12 @@
+"""Pattern matching substrate (the *Sequence* parser).
+
+"Sequence has its own parser to match new messages against existing
+known patterns.  It follows a similar process as while learning the
+messages, by first tokenising the messages, but instead of discovering
+patterns, it attempts to match new messages to a known pattern."
+(paper §III)
+"""
+
+from repro.parser.parser import MatchResult, Parser
+
+__all__ = ["Parser", "MatchResult"]

@@ -1,0 +1,200 @@
+"""Parse-trie matcher.
+
+Patterns are loaded into a trie mirroring the analysis trie: literal
+edges keyed by text, variable edges keyed by variable class, and an END
+edge holding the pattern.  Matching a scanned message is a depth-first
+walk that prefers literal edges, with memoisation on (token index, node)
+so messages matching many overlapping patterns stay linear in practice.
+When several patterns accept the message the one matching the most
+static tokens wins (ties broken by fewer variables), which keeps weakly
+patternised, high-complexity patterns from shadowing precise ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyzer.enrich import enrich_tokens
+from repro.analyzer.pattern import Pattern, VarClass
+from repro.scanner.scanner import ScannedMessage
+from repro.scanner.token_types import Token, TokenType
+
+__all__ = ["Parser", "MatchResult"]
+
+
+@dataclass(slots=True)
+class MatchResult:
+    """Outcome of matching one message against the pattern set."""
+
+    pattern: Pattern
+    #: extracted variable values, keyed by the variable's semantic name
+    fields: dict[str, str]
+    #: number of static (literal) pattern tokens the message matched
+    static_matches: int
+
+
+def _accepts(vc: VarClass, tok: Token) -> bool:
+    """Can a variable of class *vc* consume token *tok*?"""
+    t = tok.type
+    if vc is VarClass.STRING:
+        return True
+    if vc is VarClass.ALNUM:
+        if t is TokenType.INTEGER:
+            return True
+        return t is TokenType.LITERAL and any(c.isalnum() for c in tok.text)
+    if vc is VarClass.INTEGER:
+        return t is TokenType.INTEGER
+    if vc is VarClass.FLOAT:
+        return t in (TokenType.FLOAT, TokenType.INTEGER)
+    if vc is VarClass.IPV4:
+        return t is TokenType.IPV4
+    if vc is VarClass.IPV6:
+        return t is TokenType.IPV6
+    if vc is VarClass.MAC:
+        return t is TokenType.MAC
+    if vc is VarClass.TIME:
+        return t is TokenType.TIME
+    if vc is VarClass.URL:
+        return t is TokenType.URL
+    if vc is VarClass.PATH:
+        return t is TokenType.PATH or (
+            t is TokenType.LITERAL and tok.text.startswith("/")
+        )
+    if vc is VarClass.EMAIL:
+        return t is TokenType.EMAIL
+    if vc is VarClass.HOST:
+        return t is TokenType.HOST
+    if vc is VarClass.REST:
+        return True  # handled specially: consumes the remainder
+    return False
+
+
+class _Node:
+    __slots__ = ("literals", "variables", "pattern")
+
+    def __init__(self) -> None:
+        self.literals: dict[str, _Node] = {}
+        self.variables: list[tuple[VarClass, str, _Node]] = []  # (class, name, node)
+        self.pattern: Pattern | None = None
+
+
+@dataclass(slots=True)
+class _Candidate:
+    pattern: Pattern
+    fields: dict[str, str]
+    static_matches: int
+    n_variables: int = field(default=0)
+
+
+class Parser:
+    """Match scanned messages against a set of known patterns."""
+
+    def __init__(self, patterns: list[Pattern] | None = None, enrich: bool = True):
+        self._root = _Node()
+        self._n_patterns = 0
+        self._enrich = enrich
+        for p in patterns or ():
+            self.add_pattern(p)
+
+    def __len__(self) -> int:
+        return self._n_patterns
+
+    # ------------------------------------------------------------------
+    def add_pattern(self, pattern: Pattern) -> None:
+        """Insert one pattern into the parse trie (idempotent per text)."""
+        node = self._root
+        for tok in pattern.tokens:
+            if not tok.is_variable:
+                node = node.literals.setdefault(tok.text, _Node())
+            else:
+                for vc, name, child in node.variables:
+                    if vc is tok.var_class and name == tok.name:
+                        node = child
+                        break
+                else:
+                    child = _Node()
+                    node.variables.append((tok.var_class, tok.name, child))
+                    node = child
+        if node.pattern is None:
+            self._n_patterns += 1
+        node.pattern = pattern
+
+    # ------------------------------------------------------------------
+    def match(self, scanned: ScannedMessage) -> MatchResult | None:
+        """Find the best pattern for *scanned*, or None."""
+        tokens = (
+            enrich_tokens(scanned.tokens) if self._enrich else list(scanned.tokens)
+        )
+        # the scanner's REST marker only says "this message was truncated";
+        # matching treats it like end-of-message
+        if tokens and tokens[-1].type is TokenType.REST:
+            tokens = tokens[:-1]
+        best: _Candidate | None = None
+        seen: set[tuple[int, int]] = set()
+        stack: list[tuple[int, _Node, int, tuple]] = [(0, self._root, 0, ())]
+        while stack:
+            idx, node, static, bindings = stack.pop()
+            key = (idx, id(node))
+            if key in seen:
+                continue
+            seen.add(key)
+            if idx == len(tokens):
+                if node.pattern is not None:
+                    best = self._better(
+                        best, node.pattern, dict(bindings), static
+                    )
+                # an ignore-rest variable can also close the pattern here
+                for vc, name, child in node.variables:
+                    if vc is VarClass.REST and child.pattern is not None:
+                        best = self._better(
+                            best, child.pattern, dict(bindings), static
+                        )
+                continue
+            tok = tokens[idx]
+            lit = node.literals.get(tok.text)
+            if lit is not None:
+                stack.append((idx + 1, lit, static + 1, bindings))
+            for vc, name, child in node.variables:
+                if vc is VarClass.REST:
+                    # consume everything that remains
+                    if child.pattern is not None:
+                        rest = " ".join(t.text for t in tokens[idx:])
+                        best = self._better(
+                            best,
+                            child.pattern,
+                            dict(bindings + ((name, rest),)),
+                            static,
+                        )
+                    continue
+                if _accepts(vc, tok):
+                    stack.append(
+                        (idx + 1, child, static, bindings + ((name, tok.text),))
+                    )
+        if best is None:
+            return None
+        return MatchResult(
+            pattern=best.pattern,
+            fields=best.fields,
+            static_matches=best.static_matches,
+        )
+
+    @staticmethod
+    def _better(
+        current: _Candidate | None,
+        pattern: Pattern,
+        fields: dict[str, str],
+        static: int,
+    ) -> _Candidate:
+        candidate = _Candidate(
+            pattern=pattern,
+            fields=fields,
+            static_matches=static,
+            n_variables=pattern.n_variables,
+        )
+        if current is None:
+            return candidate
+        if candidate.static_matches != current.static_matches:
+            return max(current, candidate, key=lambda c: c.static_matches)
+        if candidate.n_variables != current.n_variables:
+            return min(current, candidate, key=lambda c: c.n_variables)
+        return current

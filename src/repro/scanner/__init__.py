@@ -1,0 +1,21 @@
+"""Tokenisation substrate (the *Sequence* scanner).
+
+The scanner turns a raw log message into a sequence of typed tokens in a
+single pass, using three finite state machines (datetime, hexadecimal,
+general text/number) exactly as the seminal Sequence tool does, plus the
+Sequence-RTG additions:
+
+* ``is_space_before`` on every token so the original spacing can be
+  reconstructed exactly (paper §III, "Addressing Whitespace Management
+  issues in Tokenisation");
+* multi-line truncation with an ignore-rest marker (paper §III,
+  "Handling Multi-Line Messages Properly");
+* optional future-work extensions — single-digit time parts and a fourth
+  FSM for filesystem paths (paper §VI) — disabled by default to match the
+  published behaviour.
+"""
+
+from repro.scanner.scanner import ScannedMessage, Scanner, ScannerConfig
+from repro.scanner.token_types import Token, TokenType
+
+__all__ = ["Scanner", "ScannerConfig", "ScannedMessage", "Token", "TokenType"]

@@ -1,0 +1,151 @@
+"""Hexadecimal finite state machine: MAC addresses and IPv6 addresses.
+
+The second of Sequence's three scan-time FSMs.  It walks colon- or
+hyphen-separated groups of hexadecimal digits in a single forward pass
+and classifies the run as a MAC address (exactly six two-digit groups) or
+an IPv6 address (up to eight groups of one to four digits, with at most
+one ``::`` zero-compression, optionally ending in an embedded dotted-quad
+IPv4).  Runs that fit neither shape are left for the general FSM, which
+will treat them as literals.
+"""
+
+from __future__ import annotations
+
+from repro.scanner.token_types import TokenType
+
+__all__ = ["HexFSM"]
+
+_HEX = set("0123456789abcdefABCDEF")
+_BOUNDARY_OK = set(" \t,;)]}\"'|=<>/")
+
+
+def _is_hex(c: str) -> bool:
+    return c in _HEX
+
+
+class HexFSM:
+    """Single-pass recogniser for MAC and IPv6 tokens."""
+
+    def match(self, s: str, i: int) -> tuple[int, TokenType] | None:
+        """Try to match a MAC or IPv6 address starting at *i*.
+
+        Returns ``(end, token_type)`` or ``None``.  The match must end at
+        a token boundary (whitespace, end of string, or closing
+        punctuation) so prefixes of larger words are never claimed.
+        """
+        n = len(s)
+        if i >= n or not (_is_hex(s[i]) or s.startswith("::", i)):
+            return None
+
+        groups: list[int] = []  # lengths of hex-digit groups
+        seps: list[str] = []
+        double_colon = False
+        j = i
+
+        if s.startswith("::", i):
+            double_colon = True
+            groups.append(0)
+            j = i + 2
+
+        while j < n:
+            # read one hex group
+            g = j
+            while g < n and _is_hex(s[g]) and g - j < 4:
+                g += 1
+            if g == j:
+                break
+            # group longer than 4 hex digits fits neither shape
+            if g < n and _is_hex(s[g]):
+                return None
+            groups.append(g - j)
+            j = g
+            if j < n and s[j] in ":-":
+                if s.startswith("::", j):
+                    if double_colon:
+                        return None  # at most one zero-compression
+                    double_colon = True
+                    seps.append("::")
+                    j += 2
+                    if j >= n or not _is_hex(s[j]):
+                        # trailing '::' (e.g. "fe80::"): the compression
+                        # stands for at least one zero group
+                        groups.append(0)
+                        return self._classify(s, i, j, groups, seps, double_colon)
+                else:
+                    seps.append(s[j])
+                    j += 1
+                    if j >= n or not _is_hex(s[j]):
+                        return None  # dangling separator
+            else:
+                break
+
+        return self._classify(s, i, j, groups, seps, double_colon)
+
+    def _classify(
+        self,
+        s: str,
+        start: int,
+        end: int,
+        groups: list[int],
+        seps: list[str],
+        double_colon: bool,
+    ) -> tuple[int, TokenType] | None:
+        if not self._boundary_ok(s, end):
+            # allow an embedded IPv4 tail for IPv6 (::ffff:1.2.3.4)
+            if end < len(s) and s[end] == "." and double_colon:
+                tail = self._ipv4_tail(s, start, end, groups)
+                if tail is not None:
+                    return tail
+            return None
+
+        sep_kinds = set(seps)
+        # MAC: six groups of exactly two hex digits, uniform ':' or '-'
+        if (
+            len(groups) == 6
+            and all(g == 2 for g in groups)
+            and len(sep_kinds) == 1
+            and sep_kinds <= {":", "-"}
+            and not double_colon
+        ):
+            return end, TokenType.MAC
+
+        # IPv6: ':'-separated, 1-4 digit groups; either all eight groups
+        # present or a '::' compression; require at least one letter or a
+        # compression so plain "12:34:56" stays literal/time territory.
+        if "-" not in sep_kinds and len(groups) >= 2:
+            full = len(groups) == 8 and not double_colon
+            compressed = double_colon and len(groups) <= 8
+            text = s[start:end]
+            has_alpha = any(c.isalpha() for c in text)
+            if (full or compressed) and (has_alpha or double_colon):
+                return end, TokenType.IPV6
+
+        return None
+
+    def _ipv4_tail(
+        self, s: str, start: int, end: int, groups: list[int]
+    ) -> tuple[int, TokenType] | None:
+        """Match an embedded IPv4 suffix of an IPv6 address (::ffff:a.b.c.d)."""
+        # back up to the start of the final group (it was read as hex but
+        # is actually the first IPv4 octet)
+        j = end
+        dots = 0
+        while j < len(s):
+            if s[j] == "." and dots < 3:
+                dots += 1
+                j += 1
+                if j >= len(s) or not s[j].isdigit():
+                    return None
+            elif s[j].isdigit():
+                j += 1
+            else:
+                break
+        if dots == 3 and self._boundary_ok(s, j):
+            return j, TokenType.IPV6
+        return None
+
+    @staticmethod
+    def _boundary_ok(s: str, j: int) -> bool:
+        if j >= len(s):
+            return True
+        return s[j] in _BOUNDARY_OK

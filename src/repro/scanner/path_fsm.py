@@ -1,0 +1,123 @@
+"""Path finite state machine (future-work extension, paper §VI).
+
+The paper lists "a fourth finite state machine to deal with the many
+variations of what can be considered as a 'path'" as future work, after
+observing (§IV "Limitations") that path strings sometimes remain static
+text and generate multiple patterns for a single event.
+
+This FSM recognises:
+
+* absolute POSIX paths (``/var/log/messages``, trailing slash allowed);
+* relative paths with at least two separators (``foo/bar/baz.txt``);
+* Windows drive paths (``C:\\Windows\\System32\\drivers``);
+* UNC paths (``\\\\server\\share\\dir``).
+
+It is off by default (``ScannerConfig.enable_path_fsm=False``) so the
+published behaviour, including its limitation, is reproduced; the
+ablation benchmark measures the improvement when it is enabled.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PathFSM"]
+
+# Characters allowed inside a path component.
+_COMPONENT = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._+~@%-"
+)
+_BOUNDARY_OK = set(" \t,;)]}\"'|=<>")
+
+
+class PathFSM:
+    """Recognise filesystem paths in a single forward pass."""
+
+    def match(self, s: str, i: int) -> int:
+        """Return the end index of a path starting at *i*, or ``-1``."""
+        n = len(s)
+        if i >= n:
+            return -1
+        c = s[i]
+        if c == "/":
+            return self._posix(s, i)
+        if c == "\\":
+            if s.startswith("\\\\", i):
+                return self._windows(s, i + 2, need_drive=False)
+            return -1
+        if c.isalpha() and s.startswith(":\\", i + 1):
+            return self._windows(s, i + 3, need_drive=False)
+        if c in _COMPONENT:
+            return self._relative(s, i)
+        return -1
+
+    def _posix(self, s: str, i: int) -> int:
+        n = len(s)
+        j = i
+        separators = 0
+        while j < n:
+            if s[j] == "/":
+                separators += 1
+                j += 1
+            elif s[j] in _COMPONENT:
+                j += 1
+            else:
+                break
+        j = self._strip_trailing_punct(s, i, j)
+        # require at least one component after the leading slash so a
+        # bare "/" (often a field separator) is not claimed
+        if separators >= 1 and j - i >= 2 and self._boundary_ok(s, j):
+            return j
+        return -1
+
+    def _windows(self, s: str, j: int, need_drive: bool) -> int:
+        n = len(s)
+        start = j
+        while j < n and (s[j] in _COMPONENT or s[j] == "\\"):
+            j += 1
+        j = self._strip_trailing_punct(s, start, j)
+        if j > start and self._boundary_ok(s, j):
+            return j
+        return -1
+
+    def _relative(self, s: str, i: int) -> int:
+        n = len(s)
+        j = i
+        separators = 0
+        while j < n:
+            if s[j] == "/":
+                # "//" means something else (e.g. a URL remnant)
+                if j + 1 < n and s[j + 1] == "/":
+                    return -1
+                separators += 1
+                j += 1
+            elif s[j] in _COMPONENT:
+                j += 1
+            else:
+                break
+        j = self._strip_trailing_punct(s, i, j)
+        # relative paths need two separators to avoid claiming fractions
+        # like "a/b" used as ratios in log text
+        if separators >= 2 and self._boundary_ok(s, j):
+            return j
+        return -1
+
+    @staticmethod
+    def _boundary_ok(s: str, j: int) -> bool:
+        if j >= len(s):
+            return True
+        c = s[j]
+        if c in _BOUNDARY_OK:
+            return True
+        if c in ".:," :
+            return j + 1 >= len(s) or s[j + 1] in (" ", "\t")
+        return False
+
+    @staticmethod
+    def _strip_trailing_punct(s: str, i: int, j: int) -> int:
+        """Drop sentence punctuation greedily consumed at the path end.
+
+        ``open /var/log/messages.`` ends a sentence; the dot belongs to
+        the prose, not the path — but ``core.1234`` keeps its dot.
+        """
+        while j > i and s[j - 1] in ".,;:" and (j >= len(s) or s[j] in " \t"):
+            j -= 1
+        return j

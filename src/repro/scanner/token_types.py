@@ -1,0 +1,127 @@
+"""Token model shared by the scanner, analyser and parser.
+
+Scan-time types mirror the seminal Sequence scanner ("The full list of
+tokens that can be identified at scan time are: Time, IPv4, IPv6, Mac
+Address, Integer, Float, URL, or Literal").  The remaining members are
+assigned during analysis (key/value pairs, e-mail addresses, host names —
+paper §III) or by Sequence-RTG's multi-line handling (REST marker).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["TokenType", "Token", "SCAN_TIME_TYPES", "ANALYSIS_TIME_TYPES"]
+
+
+class TokenType(enum.Enum):
+    """Type of a scanned or analysed token."""
+
+    # --- scan-time types (Sequence scanner FSM outputs) -------------------
+    LITERAL = "literal"
+    INTEGER = "integer"
+    FLOAT = "float"
+    IPV4 = "ipv4"
+    IPV6 = "ipv6"
+    MAC = "mac"
+    TIME = "time"
+    URL = "url"
+    # --- future-work extension (paper §VI: a fourth FSM for paths) --------
+    PATH = "path"
+    # --- analysis-time types (paper §III: detected by the analyser) -------
+    EMAIL = "email"
+    HOST = "host"
+    KEY = "key"
+    VALUE = "value"
+    # --- structural markers ------------------------------------------------
+    REST = "rest"  # "ignore everything after this point" (multi-line)
+
+    def is_variable(self) -> bool:
+        """True when a token of this type is inherently a pattern variable.
+
+        Literals and keys carry static text; every other type denotes data
+        that varies between occurrences of the same event.
+        """
+        return self not in (TokenType.LITERAL, TokenType.KEY)
+
+
+#: Types the scanner itself can emit.
+SCAN_TIME_TYPES = frozenset(
+    {
+        TokenType.LITERAL,
+        TokenType.INTEGER,
+        TokenType.FLOAT,
+        TokenType.IPV4,
+        TokenType.IPV6,
+        TokenType.MAC,
+        TokenType.TIME,
+        TokenType.URL,
+        TokenType.PATH,
+        TokenType.REST,
+    }
+)
+
+#: Types only the analyser assigns.
+ANALYSIS_TIME_TYPES = frozenset(
+    {TokenType.EMAIL, TokenType.HOST, TokenType.KEY, TokenType.VALUE}
+)
+
+
+@dataclass(slots=True)
+class Token:
+    """One scanned token.
+
+    Attributes
+    ----------
+    text:
+        The exact source text of the token.
+    type:
+        Scan-time (or analysis-time) :class:`TokenType`.
+    is_space_before:
+        Sequence-RTG's whitespace-management addition: ``True`` when the
+        character immediately preceding this token in the original message
+        was whitespace.  Joining token texts with a single space wherever
+        this flag is set reconstructs the message's structure exactly.
+    pos:
+        Character offset of the token in the original message.
+    semantic:
+        Optional semantic tag assigned by the analyser (for example the
+        key name of a key/value pair), used for variable naming.
+    """
+
+    text: str
+    type: TokenType
+    is_space_before: bool = False
+    pos: int = 0
+    semantic: str | None = field(default=None)
+
+    def with_type(self, new_type: TokenType, semantic: str | None = None) -> "Token":
+        """Return a copy re-typed by the analyser."""
+        return Token(
+            text=self.text,
+            type=new_type,
+            is_space_before=self.is_space_before,
+            pos=self.pos,
+            semantic=semantic if semantic is not None else self.semantic,
+        )
+
+
+def reconstruct(tokens: list[Token]) -> str:
+    """Rebuild a message from tokens honouring ``is_space_before``.
+
+    This is the exact-reconstruction guarantee the paper adds to the
+    scanner: no spurious whitespace is inserted between tokens that were
+    adjacent in the source.
+    """
+    parts: list[str] = []
+    for i, tok in enumerate(tokens):
+        if tok.type is TokenType.REST:
+            continue
+        if i > 0 and tok.is_space_before:
+            parts.append(" ")
+        parts.append(tok.text)
+    return "".join(parts)
+
+
+__all__.append("reconstruct")

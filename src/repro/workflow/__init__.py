@@ -1,0 +1,51 @@
+"""Production log-management workflow substrate.
+
+The paper's deployment experiments (Fig. 1/6/7 and the §IV production
+narrative) run inside the CC-IN2P3 infrastructure: syslog-ng collects a
+70-100M message/day stream from ~241 services, matches it against a
+patterndb, routes everything to Elasticsearch, and pipes the unmatched
+messages into Sequence-RTG whose discovered patterns administrators
+review and promote.
+
+That infrastructure is simulated here at laptop scale (volumes divided
+by ~1000; DESIGN.md §4 documents the substitution):
+
+* :class:`~repro.workflow.stream.ProductionStream` — multi-service
+  synthetic stream with long-tail service/template popularity and daily
+  template churn;
+* :class:`~repro.workflow.syslog_ng.SyslogNG` — patterndb matcher with
+  test-case validation, routing matched/unmatched;
+* :class:`~repro.workflow.elasticsearch.SimulatedElasticsearch` — the
+  indexing sink;
+* :class:`~repro.workflow.simulation.ProductionSimulation` — the 60-day
+  deployment loop reproducing Fig. 7.
+"""
+
+from repro.workflow.actions import ActionEngine, ActionRule, Notification
+from repro.workflow.anomaly import (
+    AnomalyConfig,
+    NoveltyAnomalyDetector,
+    VolumeAnomaly,
+    VolumeAnomalyDetector,
+)
+from repro.workflow.elasticsearch import SimulatedElasticsearch
+from repro.workflow.simulation import DayStats, ProductionSimulation, SimulationConfig
+from repro.workflow.stream import ProductionStream, StreamConfig
+from repro.workflow.syslog_ng import SyslogNG
+
+__all__ = [
+    "ProductionStream",
+    "StreamConfig",
+    "SyslogNG",
+    "SimulatedElasticsearch",
+    "ProductionSimulation",
+    "SimulationConfig",
+    "DayStats",
+    "AnomalyConfig",
+    "VolumeAnomaly",
+    "VolumeAnomalyDetector",
+    "NoveltyAnomalyDetector",
+    "ActionEngine",
+    "ActionRule",
+    "Notification",
+]

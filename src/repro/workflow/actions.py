@@ -1,0 +1,134 @@
+"""Pattern-triggered actions.
+
+The paper's motivating workflow (§I, Fig. 1): recognised patterns "can
+trigger a predefined action or, in many cases, [allow] a small amount of
+information to be extracted from the message which is passed with the
+message to be stored" — e.g. "send notifications to system or service
+administrators ... or trigger some predefined actions, e.g. restart a
+service or run an automated diagnostic task".
+
+:class:`ActionEngine` binds rules to pattern ids (or to any matched
+pattern of a service) and dispatches when syslog-ng routing reports a
+match.  Built-in action types cover the paper's examples — notify,
+counter, and callback (the hook a real deployment would attach restart /
+diagnostic commands to) — with optional rate limiting so a message storm
+does not trigger a thousand restarts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.workflow.syslog_ng import RouteResult
+
+__all__ = ["ActionRule", "ActionEngine", "Notification"]
+
+
+@dataclass(slots=True)
+class Notification:
+    """A queued administrator notification."""
+
+    rule: str
+    pattern_id: str
+    service: str
+    message: str
+    fields: dict[str, str]
+
+
+@dataclass(slots=True)
+class ActionRule:
+    """One trigger binding.
+
+    Attributes
+    ----------
+    name:
+        Rule identifier (used in notifications and counters).
+    pattern_id:
+        SHA1 pattern id to trigger on, or ``"*"`` for any matched
+        pattern (combine with *service* to scope).
+    service:
+        Restrict to one service (``""`` = any).
+    notify:
+        Queue a :class:`Notification` for the administrators.
+    callback:
+        Optional hook called with (rule, route_result, record); this is
+        where a deployment attaches its restart/diagnostic command.
+    max_per_window / window:
+        Rate limit: at most *max_per_window* firings per *window*
+        consecutive routed messages (0 disables limiting).
+    """
+
+    name: str
+    pattern_id: str = "*"
+    service: str = ""
+    notify: bool = True
+    callback: Callable | None = None
+    max_per_window: int = 0
+    window: int = 1000
+
+
+class ActionEngine:
+    """Dispatch rules on routed matches."""
+
+    def __init__(self) -> None:
+        self._rules: list[ActionRule] = []
+        self.notifications: list[Notification] = []
+        self.counters: dict[str, int] = defaultdict(int)
+        self._clock = 0
+        self._fired_at: dict[str, list[int]] = defaultdict(list)
+
+    def add_rule(self, rule: ActionRule) -> None:
+        if any(r.name == rule.name for r in self._rules):
+            raise ValueError(f"duplicate rule name {rule.name!r}")
+        self._rules.append(rule)
+
+    @property
+    def rules(self) -> list[ActionRule]:
+        return list(self._rules)
+
+    # ------------------------------------------------------------------
+    def process(self, service: str, message: str, result: RouteResult) -> list[str]:
+        """Feed one routed record; returns the names of fired rules."""
+        self._clock += 1
+        if not result.matched:
+            return []
+        fired: list[str] = []
+        for rule in self._rules:
+            if rule.pattern_id != "*" and rule.pattern_id != result.pattern_id:
+                continue
+            if rule.service and rule.service != service:
+                continue
+            if not self._within_rate(rule):
+                continue
+            self.counters[rule.name] += 1
+            self._fired_at[rule.name].append(self._clock)
+            if rule.notify:
+                self.notifications.append(
+                    Notification(
+                        rule=rule.name,
+                        pattern_id=result.pattern_id or "",
+                        service=service,
+                        message=message,
+                        fields=dict(result.fields),
+                    )
+                )
+            if rule.callback is not None:
+                rule.callback(rule, result, message)
+            fired.append(rule.name)
+        return fired
+
+    def _within_rate(self, rule: ActionRule) -> bool:
+        if rule.max_per_window <= 0:
+            return True
+        recent = [
+            t for t in self._fired_at[rule.name] if t > self._clock - rule.window
+        ]
+        self._fired_at[rule.name] = recent
+        return len(recent) < rule.max_per_window
+
+    def drain_notifications(self) -> list[Notification]:
+        """Return and clear the queued notifications."""
+        out, self.notifications = self.notifications, []
+        return out

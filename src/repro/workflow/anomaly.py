@@ -1,0 +1,160 @@
+"""Log-volume anomaly detection (paper §VI, future work).
+
+"Finally, we plan to go further in the exploitation of system logs and
+apply statistical and/or machine learning algorithms to the logs to
+distinguish what could be an anomaly from what is likely to be routine
+extra load when there are important variations in the number of issued
+system log entries."
+
+Two detectors cover that plan at the statistics level:
+
+* :class:`VolumeAnomalyDetector` — per-service message-rate monitoring
+  over a rolling window with a robust z-score: flags *spikes* and
+  *drops* relative to recent history, while an EWMA baseline absorbs
+  slow routine growth (the "routine extra load" the paper wants to keep
+  separate from anomalies);
+* :class:`NoveltyAnomalyDetector` — rate of previously-unseen patterns
+  per bucket: a burst of new patterns is the signature of a misbehaving
+  or newly-deployed component even when volume looks normal.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AnomalyConfig",
+    "VolumeAnomaly",
+    "VolumeAnomalyDetector",
+    "NoveltyAnomalyDetector",
+]
+
+
+@dataclass(slots=True)
+class AnomalyConfig:
+    """Detector tuning."""
+
+    #: history buckets kept per service
+    window: int = 24
+    #: |z| above which an observation is anomalous
+    z_threshold: float = 3.0
+    #: buckets of history required before alerts fire
+    min_history: int = 8
+    #: EWMA smoothing for the routine-load baseline (0 < alpha <= 1)
+    ewma_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError(f"window must be >= 2, got {self.window}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if self.min_history < 2:
+            raise ValueError(f"min_history must be >= 2, got {self.min_history}")
+
+
+@dataclass(slots=True)
+class VolumeAnomaly:
+    """One flagged observation."""
+
+    service: str
+    bucket: int
+    observed: float
+    expected: float
+    zscore: float
+    kind: str  # "spike" | "drop" | "novelty"
+
+
+class _ServiceHistory:
+    __slots__ = ("counts", "ewma")
+
+    def __init__(self, window: int) -> None:
+        self.counts: deque[float] = deque(maxlen=window)
+        self.ewma: float | None = None
+
+
+class VolumeAnomalyDetector:
+    """Rolling per-service volume monitor."""
+
+    def __init__(self, config: AnomalyConfig | None = None) -> None:
+        self.config = config or AnomalyConfig()
+        self._history: dict[str, _ServiceHistory] = {}
+
+    def observe(self, service: str, bucket: int, count: float) -> VolumeAnomaly | None:
+        """Feed one (service, time-bucket, message-count) observation.
+
+        Returns an anomaly when the count deviates from recent history by
+        more than the z threshold; otherwise folds the observation into
+        the history.  Anomalous observations are *not* folded in, so a
+        sustained incident keeps alerting instead of poisoning the
+        baseline.
+        """
+        history = self._history.setdefault(
+            service, _ServiceHistory(self.config.window)
+        )
+        anomaly = None
+        if len(history.counts) >= self.config.min_history:
+            mean = sum(history.counts) / len(history.counts)
+            var = sum((c - mean) ** 2 for c in history.counts) / len(history.counts)
+            # floor the deviation: sqrt(mean) covers Poisson counting
+            # noise on low-volume services, the proportional term covers
+            # routine jitter on flat histories
+            std = max(
+                math.sqrt(var),
+                math.sqrt(max(mean, 1.0)),
+                0.05 * max(mean, 1.0),
+            )
+            baseline = history.ewma if history.ewma is not None else mean
+            z = (count - baseline) / std
+            if abs(z) >= self.config.z_threshold:
+                anomaly = VolumeAnomaly(
+                    service=service,
+                    bucket=bucket,
+                    observed=count,
+                    expected=baseline,
+                    zscore=z,
+                    kind="spike" if z > 0 else "drop",
+                )
+        if anomaly is None:
+            history.counts.append(count)
+            alpha = self.config.ewma_alpha
+            history.ewma = (
+                count
+                if history.ewma is None
+                else alpha * count + (1 - alpha) * history.ewma
+            )
+        return anomaly
+
+    def observe_bucket(
+        self, bucket: int, counts: dict[str, float]
+    ) -> list[VolumeAnomaly]:
+        """Feed one bucket of per-service counts; return all anomalies."""
+        out = []
+        for service, count in counts.items():
+            anomaly = self.observe(service, bucket, count)
+            if anomaly is not None:
+                out.append(anomaly)
+        return out
+
+
+@dataclass(slots=True)
+class NoveltyAnomalyDetector:
+    """Alert on bursts of never-seen-before patterns per bucket."""
+
+    config: AnomalyConfig = field(default_factory=AnomalyConfig)
+    _seen: set[str] = field(default_factory=set)
+    _volume: VolumeAnomalyDetector | None = None
+
+    def observe_bucket(
+        self, bucket: int, pattern_ids: list[str], service: str = "_patterns"
+    ) -> VolumeAnomaly | None:
+        """Feed the pattern ids matched/discovered during one bucket."""
+        if self._volume is None:
+            self._volume = VolumeAnomalyDetector(self.config)
+        fresh = [pid for pid in pattern_ids if pid not in self._seen]
+        self._seen.update(fresh)
+        anomaly = self._volume.observe(service, bucket, len(fresh))
+        if anomaly is not None:
+            anomaly.kind = "novelty"
+        return anomaly

@@ -1,0 +1,51 @@
+"""Minimal Elasticsearch simulacrum.
+
+The workflow's sink (paper Fig. 1/6): both matched and unmatched
+messages are indexed for later search and visualisation.  The simulation
+needs exactly three capabilities — index documents into daily indices,
+count by field value, and run simple term queries — so that is what this
+implements; it intentionally stores plain dictionaries the way the real
+pipeline stores JSON documents.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["SimulatedElasticsearch"]
+
+
+class SimulatedElasticsearch:
+    """In-memory document store with daily indices."""
+
+    def __init__(self) -> None:
+        self._indices: dict[str, list[dict]] = defaultdict(list)
+
+    def index(self, index: str, doc: dict) -> None:
+        """Index one document."""
+        self._indices[index].append(dict(doc))
+
+    def count(self, index: str) -> int:
+        """Documents in *index* (0 when absent)."""
+        return len(self._indices.get(index, ()))
+
+    def indices(self) -> list[str]:
+        return sorted(self._indices)
+
+    def search(self, index: str, term: dict | None = None, size: int = 10) -> list[dict]:
+        """Term-filter search over one index."""
+        docs = self._indices.get(index, ())
+        if term:
+            ((key, value),) = term.items()
+            docs = [d for d in docs if d.get(key) == value]
+        return list(docs[:size])
+
+    def aggregate_terms(self, index: str, field: str) -> dict[str, int]:
+        """Value → document-count aggregation for *field*."""
+        counts: dict[str, int] = defaultdict(int)
+        for doc in self._indices.get(index, ()):
+            counts[str(doc.get(field))] += 1
+        return dict(counts)
+
+    def total_documents(self) -> int:
+        return sum(len(v) for v in self._indices.values())

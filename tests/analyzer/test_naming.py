@@ -1,0 +1,90 @@
+"""Semantic variable naming heuristics."""
+
+from repro.analyzer.naming import assign_names
+from repro.analyzer.pattern import PatternToken, VarClass
+
+
+def named(parts: list) -> list[str]:
+    """Build tokens from ('word' or VarClass) parts, return variable names."""
+    tokens = [
+        PatternToken.variable(p) if isinstance(p, VarClass) else PatternToken.static(p)
+        for p in parts
+    ]
+    assign_names(tokens)
+    return [t.name for t in tokens if t.is_variable]
+
+
+class TestDirectionContext:
+    def test_paper_example(self):
+        # %action% from %srcip% port %srcport%
+        names = named([VarClass.STRING, "from", VarClass.IPV4, "port", VarClass.INTEGER])
+        assert names == ["action", "srcip", "srcport"]
+
+    def test_destination_context(self):
+        names = named(["forwarded", "to", VarClass.IPV4, "port", VarClass.INTEGER])
+        assert names == ["dstip", "dstport"]
+
+    def test_direction_switches_mid_pattern(self):
+        names = named(
+            ["from", VarClass.IPV4, "to", VarClass.IPV4]
+        )
+        assert names == ["srcip", "dstip"]
+
+    def test_host_direction(self):
+        assert named(["from", VarClass.HOST]) == ["srchost"]
+
+
+class TestKeywords:
+    def test_pid_uid_size(self):
+        assert named(["pid", VarClass.INTEGER]) == ["pid"]
+        assert named(["uid", VarClass.INTEGER]) == ["uid"]
+        assert named(["size", VarClass.INTEGER]) == ["size"]
+
+    def test_user_string(self):
+        assert named(["user", VarClass.STRING]) == ["user"]
+
+    def test_plain_integer(self):
+        assert named(["count-free-word", VarClass.INTEGER]) == ["integer"]
+
+
+class TestDefaults:
+    def test_action_only_at_message_start(self):
+        assert named([VarClass.STRING, "x"]) == ["action"]
+        assert named(["x", VarClass.STRING]) == ["string"]
+
+    def test_base_names(self):
+        assert named(["at", VarClass.TIME]) == ["msgtime"]
+        assert named(["via", VarClass.URL]) == ["url"]
+        assert named(["dev", VarClass.MAC]) == ["mac"]
+        assert named(["load", VarClass.FLOAT]) == ["float"]
+
+    def test_punctuation_does_not_reset_context(self):
+        # "port" then "(" then integer: the bracket carries no meaning
+        names = named(["port", "(", VarClass.INTEGER])
+        assert names == ["srcport"]
+
+
+class TestDeduplication:
+    def test_numeric_suffixes(self):
+        names = named([VarClass.INTEGER, VarClass.INTEGER, VarClass.INTEGER])
+        assert names == ["integer", "integer1", "integer2"]
+
+    def test_different_names_not_suffixed(self):
+        names = named(["from", VarClass.IPV4, "port", VarClass.INTEGER])
+        assert names == ["srcip", "srcport"]
+
+
+class TestSemantics:
+    def test_kv_semantic_wins(self):
+        tokens = [
+            PatternToken.static("user"),
+            PatternToken.static("="),
+            PatternToken.variable(VarClass.STRING),
+        ]
+        assign_names(tokens, [None, None, "User-Name"])
+        assert tokens[2].name == "user_name"
+
+    def test_sanitised_to_tag_safe(self):
+        tokens = [PatternToken.variable(VarClass.STRING)]
+        assign_names(tokens, ["x!!y"])
+        assert tokens[0].name == "x__y"

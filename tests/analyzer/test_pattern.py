@@ -1,0 +1,162 @@
+"""Pattern model: rendering, ids, complexity, round trips, unknown tags."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.hashing import pattern_id
+from repro.analyzer.pattern import (
+    Pattern,
+    PatternToken,
+    UnknownTagError,
+    VarClass,
+    var_class_for,
+)
+from repro.scanner.token_types import TokenType
+
+
+def make_pattern(service="sshd") -> Pattern:
+    return Pattern(
+        tokens=[
+            PatternToken.variable(VarClass.STRING, "action", is_space_before=False),
+            PatternToken.static("from"),
+            PatternToken.variable(VarClass.IPV4, "srcip"),
+            PatternToken.static("port"),
+            PatternToken.variable(VarClass.INTEGER, "srcport"),
+        ],
+        service=service,
+    )
+
+
+class TestRendering:
+    def test_paper_example(self):
+        assert make_pattern().text == "%action% from %srcip% port %srcport%"
+
+    def test_exact_spacing(self):
+        pattern = Pattern(
+            tokens=[
+                PatternToken.static("rc", is_space_before=False),
+                PatternToken.static("=", is_space_before=False),
+                PatternToken.variable(VarClass.INTEGER, is_space_before=False),
+            ]
+        )
+        assert pattern.render(exact_spacing=True) == "rc=%integer%"
+
+    def test_legacy_spacing_inserts_everywhere(self):
+        """Limitation 3 of the seminal tool: a whitespace between every
+        pair of tokens regardless of the original message."""
+        pattern = Pattern(
+            tokens=[
+                PatternToken.static("rc", is_space_before=False),
+                PatternToken.static("=", is_space_before=False),
+                PatternToken.variable(VarClass.INTEGER, is_space_before=False),
+            ]
+        )
+        assert pattern.render(exact_spacing=False) == "rc = %integer%"
+
+
+class TestIdentity:
+    def test_id_is_sha1_of_text_and_service(self):
+        pattern = make_pattern()
+        assert pattern.id == pattern_id(pattern.text, "sshd")
+
+    def test_id_changes_with_service(self):
+        assert make_pattern("a").id != make_pattern("b").id
+
+    def test_id_reproducible_across_instances(self):
+        assert make_pattern().id == make_pattern().id
+
+
+class TestComplexity:
+    def test_fraction_of_variables(self):
+        assert make_pattern().complexity == pytest.approx(3 / 5)
+
+    def test_all_static_is_zero(self):
+        pattern = Pattern(tokens=[PatternToken.static("fixed")])
+        assert pattern.complexity == 0.0
+
+    def test_all_variables_is_one(self):
+        pattern = Pattern(
+            tokens=[PatternToken.variable(VarClass.STRING) for _ in range(3)]
+        )
+        assert pattern.complexity == 1.0
+
+    def test_empty_pattern_is_one(self):
+        assert Pattern(tokens=[]).complexity == 1.0
+
+
+class TestExamples:
+    def test_limit_three_unique(self):
+        pattern = make_pattern()
+        assert pattern.add_example("a")
+        assert not pattern.add_example("a")  # duplicate
+        assert pattern.add_example("b")
+        assert pattern.add_example("c")
+        assert not pattern.add_example("d")  # over the cap
+        assert pattern.examples == ["a", "b", "c"]
+
+
+class TestTextRoundTrip:
+    def test_from_text_parses_semantic_tags(self):
+        pattern = Pattern.from_text("%action% from %srcip% port %srcport%", "sshd")
+        assert pattern.text == "%action% from %srcip% port %srcport%"
+        assert pattern.tokens[2].var_class is VarClass.IPV4
+        assert pattern.tokens[4].var_class is VarClass.INTEGER
+
+    def test_from_text_numbered_suffixes(self):
+        pattern = Pattern.from_text("%integer% and %integer1%")
+        assert pattern.tokens[0].var_class is VarClass.INTEGER
+        assert pattern.tokens[2].var_class is VarClass.INTEGER
+
+    def test_suffix_on_digit_ending_tag(self):
+        # regression: a second IPv4 variable renders as %ipv41%; naive
+        # digit stripping would resolve it to the unknown tag "ipv"
+        pattern = Pattern.from_text("from %ipv4% to %ipv41%")
+        assert pattern.tokens[1].var_class is VarClass.IPV4
+        assert pattern.tokens[3].var_class is VarClass.IPV4
+
+    def test_unknown_tag_raises(self):
+        """The documented %-delimiter hazard (paper §IV)."""
+        with pytest.raises(UnknownTagError):
+            Pattern.from_text("usage %disk% exceeded")
+
+    def test_embedded_tag_raises(self):
+        with pytest.raises(UnknownTagError):
+            Pattern.from_text("load=%cpu%now")
+
+    def test_plain_percent_sign_ok(self):
+        pattern = Pattern.from_text("usage 99% of quota")
+        assert pattern.tokens[1].text == "99%"
+
+    def test_dict_round_trip(self):
+        pattern = make_pattern()
+        pattern.support = 5
+        pattern.add_example("Accepted from 1.2.3.4 port 22")
+        clone = Pattern.from_dict(pattern.to_dict())
+        assert clone.text == pattern.text
+        assert clone.id == pattern.id
+        assert clone.support == 5
+        assert clone.examples == pattern.examples
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["alpha", "beta", "%integer%", "%srcip%", "%string%", "%msgtime%"]
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_property_round_trip(self, words):
+        text = " ".join(words)
+        assert Pattern.from_text(text).text == text
+
+
+class TestVarClassFor:
+    def test_maps_typed_tokens(self):
+        assert var_class_for(TokenType.INTEGER) is VarClass.INTEGER
+        assert var_class_for(TokenType.TIME) is VarClass.TIME
+        assert var_class_for(TokenType.REST) is VarClass.REST
+
+    def test_rejects_literal(self):
+        with pytest.raises(ValueError):
+            var_class_for(TokenType.LITERAL)

@@ -1,0 +1,81 @@
+"""Semi-constant value expansion (§VI future work).
+
+"it would be more interesting to create as many patterns as there are
+variations of this semi-constant variable, each pattern having a
+constant value at its position."
+"""
+
+from repro.analyzer import Analyzer, AnalyzerConfig
+from repro.parser import Parser
+from repro.scanner import Scanner
+
+SC = Scanner()
+
+
+def analyze(messages, **config_kwargs):
+    config = AnalyzerConfig(merge_threshold=1, **config_kwargs)
+    return Analyzer(config).analyze([SC.scan(m) for m in messages])
+
+
+STATE_MESSAGES = [
+    f"link eth0 changed state to {s} at step {i}"
+    for i, s in enumerate(["up", "down"] * 6)
+]
+
+
+class TestDisabledByDefault:
+    def test_published_behaviour_single_pattern(self):
+        patterns = analyze(STATE_MESSAGES)
+        assert [p.text for p in patterns] == [
+            "link eth0 changed state to %string% at step %integer%"
+        ]
+
+
+class TestExpansion:
+    def test_one_pattern_per_value(self):
+        patterns = analyze(STATE_MESSAGES, semi_constant_max_values=4)
+        texts = sorted(p.text for p in patterns)
+        assert texts == [
+            "link eth0 changed state to down at step %integer%",
+            "link eth0 changed state to up at step %integer%",
+        ]
+
+    def test_supports_split_by_value(self):
+        patterns = analyze(STATE_MESSAGES, semi_constant_max_values=4)
+        assert sorted(p.support for p in patterns) == [6, 6]
+
+    def test_many_valued_variables_not_expanded(self):
+        messages = [f"request id req{i} served" for i in range(30)]
+        patterns = analyze(messages, semi_constant_max_values=3)
+        assert len(patterns) == 1
+        assert "%alphanum%" in patterns[0].text
+
+    def test_limit_respected(self):
+        # 3 distinct values but limit 2: no expansion
+        messages = [
+            f"mode set to {m} now ok" for m in ("auto", "manual", "hybrid") * 4
+        ]
+        patterns = analyze(messages, semi_constant_max_values=2)
+        assert len(patterns) == 1
+
+    def test_time_never_expanded(self):
+        messages = ["tick at 08:12:33 done", "tick at 08:12:34 done"] * 3
+        patterns = analyze(messages, semi_constant_max_values=4)
+        assert len(patterns) == 1
+        assert "%msgtime%" in patterns[0].text
+
+    def test_expanded_patterns_parse_their_traffic(self):
+        patterns = analyze(STATE_MESSAGES, semi_constant_max_values=4)
+        parser = Parser(patterns)
+        for message in STATE_MESSAGES:
+            hit = parser.match(SC.scan(message))
+            assert hit is not None
+            value = "up" if " up " in f" {message} " else "down"
+            assert value in hit.pattern.text
+
+    def test_examples_filtered_per_value(self):
+        patterns = analyze(STATE_MESSAGES, semi_constant_max_values=4)
+        for pattern in patterns:
+            value = "up" if " up " in f" {pattern.text} " else "down"
+            for example in pattern.examples:
+                assert value in example

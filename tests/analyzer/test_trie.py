@@ -1,0 +1,103 @@
+"""Analysis trie mechanics: insertion, counting, subtree union."""
+
+from repro.analyzer.trie import END_KEY, AnalysisTrie, TrieNode, token_key
+from repro.scanner import Scanner
+from repro.scanner.token_types import Token, TokenType
+
+SC = Scanner()
+
+
+def insert(trie: AnalysisTrie, message: str) -> None:
+    scanned = SC.scan(message)
+    trie.insert(scanned, scanned.tokens)
+
+
+class TestTokenKey:
+    def test_literal_keyed_by_text(self):
+        assert token_key(Token("foo", TokenType.LITERAL)) == "Lfoo"
+
+    def test_typed_keyed_by_type(self):
+        assert token_key(Token("42", TokenType.INTEGER)) == "Tinteger"
+
+    def test_semantic_in_key(self):
+        tok = Token("42", TokenType.INTEGER, semantic="port")
+        assert token_key(tok) == "Tinteger:port"
+
+    def test_key_type_keyed_by_text(self):
+        assert token_key(Token("user", TokenType.KEY)) == "Luser"
+
+
+class TestInsertion:
+    def test_counts_accumulate(self):
+        trie = AnalysisTrie()
+        insert(trie, "a b")
+        insert(trie, "a b")
+        insert(trie, "a c")
+        assert trie.n_messages == 3
+        a = trie.root.children["La"]
+        assert a.count == 3
+        assert a.children["Lb"].count == 2
+        assert a.children["Lc"].count == 1
+
+    def test_end_marker_holds_examples(self):
+        trie = AnalysisTrie()
+        for i in range(5):
+            insert(trie, f"start {i} end")
+        node = trie.root.children["Lstart"].children["Tinteger"].children["Lend"]
+        end = node.children[END_KEY]
+        assert end.count == 5
+        assert len(end.examples) == 3  # capped at three unique examples
+
+    def test_typed_values_tracked(self):
+        trie = AnalysisTrie()
+        insert(trie, "x 1")
+        insert(trie, "x 1")
+        insert(trie, "x 2")
+        node = trie.root.children["Lx"].children["Tinteger"]
+        assert node.values == {"1": 2, "2": 1}
+
+    def test_value_overflow(self):
+        trie = AnalysisTrie()
+        for i in range(20):
+            insert(trie, f"x {i}")
+        node = trie.root.children["Lx"].children["Tinteger"]
+        assert node.overflow
+        assert node.values is None
+
+    def test_node_count(self):
+        trie = AnalysisTrie()
+        insert(trie, "a b")
+        # root, La, Lb, END
+        assert trie.node_count() == 4
+
+
+class TestAbsorb:
+    def test_union_merges_counts_and_children(self):
+        trie = AnalysisTrie()
+        insert(trie, "u1 login ok")
+        insert(trie, "u2 login failed")
+        a = trie.root.children.pop("Lu1")
+        b = trie.root.children.pop("Lu2")
+        a.absorb(b)
+        assert a.count == 2
+        login = a.children["Llogin"]
+        assert set(login.children) == {"Lok", "Lfailed"}
+
+    def test_absorb_merges_examples_capped(self):
+        a = TrieNode(examples=["e1", "e2"])
+        b = TrieNode(examples=["e2", "e3", "e4"])
+        a.absorb(b)
+        assert a.examples == ["e1", "e2", "e3"]
+
+    def test_absorb_propagates_overflow(self):
+        a = TrieNode()
+        b = TrieNode(overflow=True)
+        a.observe("x")
+        a.absorb(b)
+        assert a.overflow and a.values is None
+
+    def test_absorb_conflicting_semantics_cleared(self):
+        a = TrieNode(semantic="port")
+        b = TrieNode(semantic="size")
+        a.absorb(b)
+        assert a.semantic is None

@@ -1,0 +1,57 @@
+"""Contract tests shared by all four baseline parsers."""
+
+import pytest
+
+from repro.baselines import ALL_BASELINES
+
+SIMPLE = [
+    "Connection from 10.0.0.1 closed",
+    "Connection from 10.0.0.2 closed",
+    "Connection from 10.0.0.3 closed",
+    "Disk sda1 is full",
+    "Disk sdb2 is full",
+    "Service restarted successfully",
+    "Service restarted successfully",
+]
+
+
+@pytest.fixture(params=list(ALL_BASELINES), ids=list(ALL_BASELINES))
+def parser(request):
+    return ALL_BASELINES[request.param]()
+
+
+class TestContract:
+    def test_one_assignment_per_message(self, parser):
+        assignments = parser.fit(SIMPLE)
+        assert len(assignments) == len(SIMPLE)
+        assert all(isinstance(a, int) for a in assignments)
+
+    def test_identical_messages_same_cluster(self, parser):
+        assignments = parser.fit(SIMPLE)
+        assert assignments[5] == assignments[6]
+
+    def test_obviously_same_event_grouped(self, parser):
+        assignments = parser.fit(SIMPLE)
+        assert assignments[0] == assignments[1] == assignments[2]
+
+    def test_different_shapes_separated(self, parser):
+        assignments = parser.fit(SIMPLE)
+        assert assignments[0] != assignments[5]
+
+    def test_templates_cover_all_clusters(self, parser):
+        assignments = parser.fit(SIMPLE)
+        templates = parser.templates()
+        assert max(assignments) < len(templates)
+
+    def test_deterministic(self):
+        for name, cls in ALL_BASELINES.items():
+            assert cls().fit(SIMPLE) == cls().fit(SIMPLE), name
+
+    def test_empty_input(self, parser):
+        assert parser.fit([]) == []
+
+    def test_wildcarded_input(self, parser):
+        # pre-processed benchmark data contains <*> markers
+        msgs = ["took <*> ms", "took <*> ms", "took <*> ms"]
+        assignments = parser.fit(msgs)
+        assert len(set(assignments)) == 1

@@ -1,0 +1,62 @@
+"""Drain: fixed-depth tree routing and similarity threshold."""
+
+import pytest
+
+from repro.baselines import Drain
+from repro.baselines.base import WILDCARD
+
+
+class TestRouting:
+    def test_length_separates(self):
+        drain = Drain()
+        a = drain.fit(["one two three", "one two"])
+        assert a[0] != a[1]
+
+    def test_digit_tokens_route_to_wildcard(self):
+        drain = Drain(st=0.3)
+        msgs = [f"send {i} packets now" for i in range(10)]
+        assert len(set(drain.fit(msgs))) == 1
+
+    def test_template_updated_positionwise(self):
+        # depth 3 = one routing token, so the alpha variable at position 2
+        # lands in the same leaf and the template gains a wildcard
+        drain = Drain(depth=3, st=0.4)
+        drain.fit(["user alice login ok", "user bob login ok"])
+        assert drain.templates() == [f"user {WILDCARD} login ok"]
+
+    def test_depth4_splits_on_second_token(self):
+        # the default depth routes on the first two tokens: an alpha
+        # variable there splits the event — a known Drain trait
+        drain = Drain(st=0.4)
+        a = drain.fit(["user alice login ok", "user bob login ok"])
+        assert a[0] != a[1]
+
+    def test_low_similarity_creates_new_group(self):
+        drain = Drain(st=0.9)
+        a = drain.fit(["alpha beta gamma delta", "alpha beta other words"])
+        assert a[0] != a[1]
+
+    def test_max_children_funnels_to_wildcard(self):
+        drain = Drain(max_children=2, st=0.3)
+        msgs = [f"w{i} common tail here" for i in range(30)]
+        assignments = drain.fit(msgs)
+        # after the two first children fill up, the rest share a group
+        assert len(set(assignments)) <= 3
+
+
+class TestValidation:
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            Drain(depth=2)
+
+    def test_bad_similarity(self):
+        with pytest.raises(ValueError):
+            Drain(st=1.5)
+
+
+class TestStreaming:
+    def test_incremental_fit_accumulates(self):
+        drain = Drain()
+        first = drain.fit(["job 1 done"])
+        second = drain.fit(["job 2 done"])
+        assert first[0] == second[0]

@@ -1,0 +1,53 @@
+"""IPLoM: the four partitioning steps."""
+
+import pytest
+
+from repro.baselines import IPLoM
+from repro.baselines.base import WILDCARD
+
+
+class TestSteps:
+    def test_step1_partitions_by_length(self):
+        iplom = IPLoM()
+        a = iplom.fit(["a b c", "a b", "a b c", "a b"])
+        assert a[0] == a[2] and a[1] == a[3] and a[0] != a[1]
+
+    def test_step2_splits_on_stable_column(self):
+        iplom = IPLoM(partition_support=1)
+        msgs = (
+            [f"start job {i} ok" for i in range(8)]
+            + [f"abort job {i} ok" for i in range(8)]
+        )
+        a = iplom.fit(msgs)
+        assert len({a[i] for i in range(8)}) == 1
+        assert a[0] != a[8]
+
+    def test_template_extraction_wildcards_variables(self):
+        iplom = IPLoM(partition_support=1)
+        iplom.fit([f"recv {i} bytes" for i in range(9)])
+        assert f"recv {WILDCARD} bytes" in iplom.templates()
+
+    def test_unique_columns_do_not_shatter(self):
+        # every token different except the frame: must stay one cluster
+        iplom = IPLoM()
+        msgs = [f"tx {i} rx {i * 7} drop {i * 13}" for i in range(20)]
+        assert len(set(iplom.fit(msgs))) == 1
+
+    def test_small_partitions_left_alone(self):
+        iplom = IPLoM(partition_support=4)
+        msgs = ["x 1 y", "x 2 y", "x 3 y"]
+        assert len(set(iplom.fit(msgs))) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IPLoM(partition_support=0)
+
+
+class TestBijection:
+    def test_one_to_one_pairs_split(self):
+        iplom = IPLoM(partition_support=1)
+        msgs = []
+        for pair in (("open", "file"), ("close", "sock"), ("read", "pipe")):
+            msgs += [f"{pair[0]} {pair[1]} {i} end" for i in range(6)]
+        a = iplom.fit(msgs)
+        assert len(set(a)) == 3

@@ -1,0 +1,45 @@
+"""Spell: LCS computation and streaming template refinement."""
+
+import pytest
+
+from repro.baselines import Spell
+from repro.baselines.base import WILDCARD
+from repro.baselines.spell import _lcs
+
+
+class TestLcs:
+    def test_classic(self):
+        assert _lcs(list("ABCBDAB"), list("BDCABA")) in (
+            list("BCBA"), list("BDAB"), list("BCAB"),
+        )
+
+    def test_identical(self):
+        assert _lcs(["a", "b"], ["a", "b"]) == ["a", "b"]
+
+    def test_disjoint(self):
+        assert _lcs(["a"], ["b"]) == []
+
+    def test_empty(self):
+        assert _lcs([], ["a"]) == []
+
+
+class TestClustering:
+    def test_same_structure_joins(self):
+        spell = Spell()
+        msgs = [f"Accepted password for user{i} from host{i}" for i in range(4)]
+        assert len(set(spell.fit(msgs))) == 1
+
+    def test_template_refined_to_lcs(self):
+        spell = Spell()
+        spell.fit(["open file alpha now", "open file beta now"])
+        (template,) = spell.templates()
+        assert template == f"open file {WILDCARD} now"
+
+    def test_below_tau_splits(self):
+        spell = Spell(tau=0.9)
+        a = spell.fit(["alpha beta gamma", "alpha other thing"])
+        assert a[0] != a[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Spell(tau=0.0)

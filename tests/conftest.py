@@ -1,0 +1,51 @@
+"""Shared fixtures for the Sequence-RTG test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyzer.analyzer import Analyzer
+from repro.core.patterndb import PatternDB
+from repro.core.pipeline import SequenceRTG
+from repro.core.records import LogRecord
+from repro.scanner.scanner import Scanner, ScannerConfig
+
+
+@pytest.fixture()
+def scanner() -> Scanner:
+    """Default-configured scanner (published behaviour)."""
+    return Scanner(ScannerConfig())
+
+
+@pytest.fixture()
+def analyzer() -> Analyzer:
+    return Analyzer()
+
+
+@pytest.fixture()
+def rtg() -> SequenceRTG:
+    """Pipeline over a fresh in-memory database."""
+    return SequenceRTG(db=PatternDB())
+
+
+@pytest.fixture()
+def ssh_records() -> list[LogRecord]:
+    """Enough distinct users/hosts for the variable positions to merge."""
+    return [
+        LogRecord(
+            "sshd",
+            f"Accepted password for user{i} from 10.0.{i}.{i + 1} port {40000 + i} ssh2",
+        )
+        for i in range(8)
+    ]
+
+
+@pytest.fixture()
+def hdfs_records() -> list[LogRecord]:
+    return [
+        LogRecord(
+            "hdfs",
+            f"PacketResponder {i % 3} for block blk_{7000000 + i} terminating",
+        )
+        for i in range(6)
+    ]

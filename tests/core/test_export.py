@@ -1,0 +1,122 @@
+"""Exporters: syslog-ng patterndb XML, YAML, Logstash Grok."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analyzer.pattern import Pattern
+from repro.core.export import export_patterns
+from repro.core.export.grok import pattern_to_grok
+from repro.core.export.syslog_ng import pattern_to_syslog_ng
+from repro.core.patterndb import PatternDB
+
+
+@pytest.fixture()
+def db():
+    db = PatternDB()
+    p1 = Pattern.from_text("%action% from %srcip% port %srcport%", "sshd")
+    p1.support = 10
+    p1.add_example("Accepted from 1.2.3.4 port 22")
+    p1.add_example("Rejected from 5.6.7.8 port 2222")
+    db.upsert(p1)
+    p2 = Pattern.from_text("%string% %string1% %string2%", "noisy")
+    p2.support = 1
+    db.upsert(p2)
+    return db
+
+
+class TestSyslogNgPatternSyntax:
+    def test_paper_example_translation(self):
+        pattern = Pattern.from_text("%action% from %srcip% port %srcport%", "sshd")
+        rendered = pattern_to_syslog_ng(pattern)
+        assert "@IPv4:srcip@" in rendered
+        assert "@NUMBER:srcport@" in rendered
+        assert rendered.startswith("@ESTRING:action: @")
+
+    def test_estring_swallows_following_space(self):
+        pattern = Pattern.from_text("%string% next")
+        assert pattern_to_syslog_ng(pattern) == "@ESTRING:string: @next"
+
+    def test_final_variable_is_anystring(self):
+        pattern = Pattern.from_text("tail %string%")
+        assert pattern_to_syslog_ng(pattern).endswith("@ANYSTRING:string@")
+
+    def test_at_sign_escaped(self):
+        pattern = Pattern.from_text("user@@host said hi")  # literal contains @
+        assert "@@" in pattern_to_syslog_ng(pattern)
+
+    def test_typed_parsers(self):
+        pattern = Pattern.from_text("%mac% %ipv6% %float% %email% %host%")
+        rendered = pattern_to_syslog_ng(pattern)
+        for parser in ("@MACADDR:", "@IPv6:", "@FLOAT:", "@EMAIL:", "@HOSTNAME:"):
+            assert parser in rendered
+
+
+class TestPatterndbXml:
+    def test_well_formed_and_structured(self, db):
+        xml = export_patterns(db, "syslog-ng")
+        root = ET.fromstring(xml)
+        assert root.tag == "patterndb"
+        rulesets = root.findall("ruleset")
+        assert {rs.get("name") for rs in rulesets} == {"sshd", "noisy"}
+
+    def test_rule_carries_pattern_id_and_examples(self, db):
+        xml = export_patterns(db, "syslog-ng", service="sshd")
+        root = ET.fromstring(xml)
+        rule = root.find(".//rule")
+        assert len(rule.get("id")) == 40
+        messages = [e.text for e in rule.findall(".//test_message")]
+        assert "Accepted from 1.2.3.4 port 22" in messages
+
+    def test_statistics_in_values(self, db):
+        xml = export_patterns(db, "syslog-ng", service="sshd")
+        root = ET.fromstring(xml)
+        names = {v.get("name") for v in root.findall(".//value")}
+        assert "sequence-rtg.match_count" in names
+        assert "sequence-rtg.complexity" in names
+
+
+class TestYaml:
+    def test_contains_rendered_rows(self, db):
+        out = export_patterns(db, "yaml", service="sshd")
+        assert out.startswith("---")
+        assert '"sshd":' in out
+        assert "pattern: \"%action% from %srcip% port %srcport%\"" in out
+        assert "match_count: 10" in out
+        assert "examples:" in out
+
+    def test_empty_db(self):
+        out = export_patterns(PatternDB(), "yaml")
+        assert "patterndb: {}" in out
+
+
+class TestGrok:
+    def test_fig4_shape(self, db):
+        out = export_patterns(db, "grok", service="sshd")
+        assert "filter {" in out and "grok {" in out
+        assert '%{DATA:action} from %{IP:srcip} port %{INT:srcport}' in out
+        assert '"pattern_id"]' in out
+
+    def test_static_regex_escaped(self):
+        pattern = Pattern.from_text("jk2_init %integer%", "apache")
+        rendered = pattern_to_grok(pattern)
+        assert "jk2_init" in rendered  # parentheses would need escaping
+        pattern2 = Pattern.from_text("cost (usd) %float%")
+        assert "\\(usd\\)" in pattern_to_grok(pattern2)
+
+
+class TestExportSelection:
+    def test_min_count_filter(self, db):
+        out = export_patterns(db, "grok", min_count=5)
+        assert "srcip" in out
+        assert out.count("filter {") == 1  # the noisy pattern is excluded
+
+    def test_complexity_filter(self, db):
+        """"This score can then be used to select only the strongest
+        patterns when exporting" (§III)."""
+        out = export_patterns(db, "yaml", max_complexity=0.8)
+        assert "noisy" not in out  # all-variable pattern filtered out
+
+    def test_unknown_format(self, db):
+        with pytest.raises(ValueError):
+            export_patterns(db, "protobuf")

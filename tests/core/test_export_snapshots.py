@@ -1,0 +1,87 @@
+"""Per-class export translations, pinned as snapshots.
+
+A change in any `%tag%` → syslog-ng / Grok mapping silently breaks every
+downstream patterndb; these snapshots make such changes explicit.
+"""
+
+import pytest
+
+from repro.analyzer.pattern import Pattern, PatternToken, VarClass
+from repro.core.export.grok import pattern_to_grok
+from repro.core.export.syslog_ng import pattern_to_syslog_ng
+
+
+def one_var(vc: VarClass, last: bool = False) -> Pattern:
+    tokens = [
+        PatternToken.static("head", is_space_before=False),
+        PatternToken.variable(vc, name=vc.value),
+    ]
+    if not last:
+        tokens.append(PatternToken.static("tail"))
+    return Pattern(tokens=tokens, service="svc")
+
+
+SYSLOG_NG_MID = {
+    VarClass.INTEGER: "head @NUMBER:integer@ tail",
+    VarClass.FLOAT: "head @FLOAT:float@ tail",
+    VarClass.IPV4: "head @IPv4:ipv4@ tail",
+    VarClass.IPV6: "head @IPv6:ipv6@ tail",
+    VarClass.MAC: "head @MACADDR:mac@ tail",
+    VarClass.EMAIL: "head @EMAIL:email@ tail",
+    VarClass.HOST: "head @HOSTNAME:host@ tail",
+    VarClass.STRING: "head @ESTRING:string: @tail",
+    VarClass.ALNUM: "head @ESTRING:alphanum: @tail",
+    VarClass.URL: "head @ESTRING:url: @tail",
+    VarClass.PATH: "head @ESTRING:path: @tail",
+}
+
+GROK_MID = {
+    VarClass.INTEGER: "head %{INT:integer} tail",
+    VarClass.FLOAT: "head %{NUMBER:float} tail",
+    VarClass.IPV4: "head %{IP:ipv4} tail",
+    VarClass.IPV6: "head %{IP:ipv6} tail",
+    VarClass.MAC: "head %{MAC:mac} tail",
+    VarClass.EMAIL: "head %{EMAILADDRESS:email} tail",
+    VarClass.HOST: "head %{HOSTNAME:host} tail",
+    VarClass.STRING: "head %{DATA:string} tail",
+    VarClass.ALNUM: "head %{NOTSPACE:alphanum} tail",
+    VarClass.URL: "head %{URI:url} tail",
+    VarClass.PATH: "head %{PATH:path} tail",
+    VarClass.TIME: "head %{DATA:msgtime} tail",
+    VarClass.REST: "head %{GREEDYDATA:ignorerest} tail",
+}
+
+
+class TestSyslogNgSnapshots:
+    @pytest.mark.parametrize("vc", sorted(SYSLOG_NG_MID, key=lambda v: v.value))
+    def test_mid_pattern(self, vc):
+        assert pattern_to_syslog_ng(one_var(vc)) == SYSLOG_NG_MID[vc]
+
+    def test_time_uses_pcre(self):
+        rendered = pattern_to_syslog_ng(one_var(VarClass.TIME))
+        assert rendered.startswith("head @PCRE:msgtime:")
+
+    def test_rest_is_anystring(self):
+        rendered = pattern_to_syslog_ng(one_var(VarClass.REST, last=True))
+        assert rendered == "head @ANYSTRING:ignorerest@"
+
+    @pytest.mark.parametrize(
+        "vc", [VarClass.STRING, VarClass.ALNUM, VarClass.URL, VarClass.PATH]
+    )
+    def test_final_position_widens_to_anystring(self, vc):
+        rendered = pattern_to_syslog_ng(one_var(vc, last=True))
+        assert rendered.endswith(f"@ANYSTRING:{vc.value}@")
+
+
+class TestGrokSnapshots:
+    @pytest.mark.parametrize("vc", sorted(GROK_MID, key=lambda v: v.value))
+    def test_mid_pattern(self, vc):
+        assert pattern_to_grok(one_var(vc)) == GROK_MID[vc]
+
+    def test_regex_specials_escaped(self):
+        pattern = Pattern(
+            tokens=[PatternToken.static("a+b (x) [y] {z}", is_space_before=False)],
+            service="svc",
+        )
+        rendered = pattern_to_grok(pattern)
+        assert rendered == "a\\+b \\(x\\) \\[y\\] \\{z\\}"

@@ -1,0 +1,105 @@
+"""Stream ingester: JSON-lines parsing, batching, malformed input."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ingest import StreamIngester, parse_record
+from repro.core.records import LogRecord
+
+
+class TestParseRecord:
+    def test_valid_record(self):
+        rec = parse_record('{"service": "sshd", "message": "hello world"}')
+        assert rec == LogRecord("sshd", "hello world")
+
+    def test_extra_fields_tolerated(self):
+        rec = parse_record('{"service": "s", "message": "m", "host": "h"}')
+        assert rec is not None
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "   ",
+            "not json",
+            "[1, 2]",
+            '"just a string"',
+            '{"service": "s"}',  # missing message
+            '{"message": "m"}',  # missing service
+            '{"service": 5, "message": "m"}',  # wrong type
+            '{"service": "", "message": "m"}',  # empty service
+            '{"service": "s", "message": 7}',
+        ],
+    )
+    def test_malformed(self, line):
+        assert parse_record(line) is None
+
+    def test_message_may_be_empty_string(self):
+        assert parse_record('{"service": "s", "message": ""}') is not None
+
+    @given(st.text(max_size=80))
+    def test_never_raises(self, line):
+        parse_record(line)  # must not throw on arbitrary input
+
+
+def lines(n: int, service="svc"):
+    return [json.dumps({"service": service, "message": f"msg {i}"}) for i in range(n)]
+
+
+class TestBatching:
+    def test_exact_batches(self):
+        ingester = StreamIngester(batch_size=10)
+        batches = list(ingester.batches(lines(30)))
+        assert [len(b) for b in batches] == [10, 10, 10]
+        assert ingester.stats.n_batches == 3
+
+    def test_partial_final_batch(self):
+        ingester = StreamIngester(batch_size=10)
+        batches = list(ingester.batches(lines(25)))
+        assert [len(b) for b in batches] == [10, 10, 5]
+
+    def test_drop_partial(self):
+        ingester = StreamIngester(batch_size=10, drop_partial=True)
+        batches = list(ingester.batches(lines(25)))
+        assert [len(b) for b in batches] == [10, 10]
+
+    def test_malformed_lines_skipped_and_counted(self):
+        stream = lines(5) + ["garbage", "{bad json"] + lines(5)
+        ingester = StreamIngester(batch_size=100)
+        batches = list(ingester.batches(stream))
+        assert len(batches) == 1 and len(batches[0]) == 10
+        assert ingester.stats.n_malformed == 2
+        assert ingester.stats.n_lines == 12
+        assert ingester.stats.n_records == 10
+
+    def test_empty_stream(self):
+        ingester = StreamIngester(batch_size=10)
+        assert list(ingester.batches([])) == []
+        assert ingester.stats.n_batches == 0
+
+    def test_batches_from_records(self):
+        records = [LogRecord("s", str(i)) for i in range(7)]
+        ingester = StreamIngester(batch_size=3)
+        batches = list(ingester.batches_from_records(records))
+        assert [len(b) for b in batches] == [3, 3, 1]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            StreamIngester(batch_size=0)
+
+    def test_lazy_consumption(self):
+        """The ingester must not drain the stream ahead of the consumer
+        (production pipes are infinite)."""
+        consumed = []
+
+        def stream():
+            for i in range(100):
+                consumed.append(i)
+                yield json.dumps({"service": "s", "message": str(i)})
+
+        ingester = StreamIngester(batch_size=5)
+        gen = ingester.batches(stream())
+        next(gen)
+        assert len(consumed) == 5

@@ -1,0 +1,157 @@
+"""Pattern database: persistence, statistics, example cap, pruning."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.analyzer.pattern import Pattern, PatternToken, VarClass
+from repro.core.patterndb import PatternDB
+
+
+def make_pattern(text="login %string% ok", service="sshd", support=1, examples=()):
+    pattern = Pattern.from_text(text, service)
+    pattern.support = support
+    for e in examples:
+        pattern.add_example(e)
+    return pattern
+
+
+T0 = datetime(2021, 9, 1, tzinfo=timezone.utc)
+T1 = datetime(2021, 9, 2, tzinfo=timezone.utc)
+
+
+class TestUpsert:
+    def test_insert_and_load(self):
+        db = PatternDB()
+        pid = db.upsert(make_pattern(support=3, examples=["login a ok"]), now=T0)
+        rows = db.rows()
+        assert len(rows) == 1
+        assert rows[0].id == pid
+        assert rows[0].match_count == 3
+        assert rows[0].examples == ["login a ok"]
+        assert rows[0].first_seen == T0.isoformat()
+
+    def test_reupsert_accumulates(self):
+        db = PatternDB()
+        db.upsert(make_pattern(support=3), now=T0)
+        db.upsert(make_pattern(support=2), now=T1)
+        (row,) = db.rows()
+        assert row.match_count == 5
+        assert row.first_seen == T0.isoformat()
+        assert row.last_matched == T1.isoformat()
+
+    def test_requires_service(self):
+        db = PatternDB()
+        with pytest.raises(ValueError):
+            db.upsert(make_pattern(service=""))
+
+    def test_round_trip_to_pattern(self):
+        db = PatternDB()
+        original = make_pattern("conn from %srcip% port %srcport%", "sshd")
+        db.upsert(original, now=T0)
+        (row,) = db.rows()
+        restored = row.to_pattern()
+        assert restored.text == original.text
+        assert restored.id == original.id
+        assert restored.tokens[2].var_class is VarClass.IPV4
+
+
+class TestExamples:
+    def test_example_cap_three_unique(self):
+        db = PatternDB()
+        pid = db.upsert(make_pattern(examples=["e1", "e2"]), now=T0)
+        db.add_example(pid, "e2")  # duplicate ignored
+        db.add_example(pid, "e3")
+        db.add_example(pid, "e4")  # over cap
+        (row,) = db.rows()
+        assert row.examples == ["e1", "e2", "e3"]
+
+    def test_examples_merged_on_reupsert(self):
+        db = PatternDB()
+        db.upsert(make_pattern(examples=["e1"]), now=T0)
+        db.upsert(make_pattern(examples=["e2"]), now=T1)
+        (row,) = db.rows()
+        assert row.examples == ["e1", "e2"]
+
+
+class TestQueries:
+    def _seed(self, db):
+        db.upsert(make_pattern("a %integer%", "svc1", support=10), now=T0)
+        db.upsert(make_pattern("b %string% %string1%", "svc1", support=2), now=T0)
+        db.upsert(make_pattern("c literal only", "svc2", support=5), now=T0)
+
+    def test_filter_by_service(self):
+        db = PatternDB()
+        self._seed(db)
+        assert len(db.rows(service="svc1")) == 2
+        assert len(db.rows(service="svc2")) == 1
+        assert db.rows(service="nope") == []
+
+    def test_filter_by_min_count(self):
+        db = PatternDB()
+        self._seed(db)
+        assert len(db.rows(min_count=5)) == 2
+
+    def test_filter_by_complexity(self):
+        db = PatternDB()
+        self._seed(db)
+        rows = db.rows(max_complexity=0.55)
+        assert {r.pattern_text for r in rows} == {"a %integer%", "c literal only"}
+
+    def test_services_listing(self):
+        db = PatternDB()
+        self._seed(db)
+        assert db.services() == ["svc1", "svc2"]
+
+    def test_load_service_returns_patterns(self):
+        db = PatternDB()
+        self._seed(db)
+        patterns = db.load_service("svc1")
+        assert {p.text for p in patterns} == {"a %integer%", "b %string% %string1%"}
+        assert all(p.service == "svc1" for p in patterns)
+
+    def test_counts(self):
+        db = PatternDB()
+        self._seed(db)
+        counts = db.counts()
+        assert counts["patterns"] == 3
+        assert counts["services"] == 2
+
+
+class TestRecordMatch:
+    def test_bumps_count_and_date(self):
+        db = PatternDB()
+        pid = db.upsert(make_pattern(support=1), now=T0)
+        db.record_match(pid, n=4, now=T1)
+        (row,) = db.rows()
+        assert row.match_count == 5
+        assert row.last_matched == T1.isoformat()
+
+
+class TestPrune:
+    def test_save_threshold(self):
+        """Paper §IV: patterns matched fewer times than the threshold are
+        considered useless and not kept."""
+        db = PatternDB()
+        db.upsert(make_pattern("rare %integer%", support=1), now=T0)
+        db.upsert(make_pattern("common %integer%", support=50), now=T0)
+        removed = db.prune(save_threshold=5)
+        assert removed == 1
+        (row,) = db.rows()
+        assert row.pattern_text == "common %integer%"
+
+    def test_prune_removes_orphan_examples(self):
+        db = PatternDB()
+        db.upsert(make_pattern("rare %integer%", support=1, examples=["x"]), now=T0)
+        db.prune(save_threshold=5)
+        assert db.counts()["examples"] == 0
+
+
+class TestDiskPersistence:
+    def test_patterns_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "patterns.db")
+        with PatternDB(path) as db:
+            db.upsert(make_pattern(support=7), now=T0)
+        with PatternDB(path) as db2:
+            (row,) = db2.rows()
+            assert row.match_count == 7

@@ -1,0 +1,77 @@
+"""Administrator review report."""
+
+from repro.analyzer.pattern import Pattern
+from repro.core.patterndb import PatternDB
+from repro.core.report import priority_score, review_report
+
+
+def seeded_db() -> PatternDB:
+    db = PatternDB()
+    strong = Pattern.from_text("conn from %srcip% port %srcport% ok", "net")
+    strong.support = 500
+    strong.add_example("conn from 1.2.3.4 port 22 ok")
+    db.upsert(strong)
+    noisy = Pattern.from_text("%string% %string1% %string2%", "net")
+    noisy.support = 9_000  # huge volume but all-variable
+    db.upsert(noisy)
+    rare = Pattern.from_text("disk sda failed badly", "storage")
+    rare.support = 2
+    db.upsert(rare)
+    return db
+
+
+class TestRanking:
+    def test_quality_beats_raw_volume(self):
+        db = seeded_db()
+        rows = db.rows()
+        ranked = sorted(rows, key=priority_score, reverse=True)
+        assert ranked[0].pattern_text.startswith("conn from")
+
+    def test_report_orders_and_annotates(self):
+        report = review_report(seeded_db())
+        conn = report.index("conn from")
+        noisy = report.index("%string% %string1% %string2%")
+        assert conn < noisy
+        assert "⚠ all-variable pattern" in report
+        assert "syslog-ng: `conn from @IPv4:srcip@" in report
+
+    def test_examples_included(self):
+        report = review_report(seeded_db())
+        assert "`conn from 1.2.3.4 port 22 ok`" in report
+
+
+class TestSelection:
+    def test_filters_apply(self):
+        report = review_report(seeded_db(), max_complexity=0.8)
+        assert "%string2%" not in report
+
+    def test_service_scope(self):
+        report = review_report(seeded_db(), service="storage")
+        assert "disk sda" in report and "conn from" not in report
+
+    def test_limit(self):
+        report = review_report(seeded_db(), limit=1)
+        assert report.count("## ") == 1
+
+    def test_empty_selection(self):
+        report = review_report(seeded_db(), min_count=10**9)
+        assert "No candidate patterns" in report
+
+
+class TestCli:
+    def test_report_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db_path = str(tmp_path / "r.db")
+        log = tmp_path / "in.log"
+        log.write_text(
+            "\n".join(
+                f"conn from 10.0.0.{i} port {4000+i} up" for i in range(8)
+            )
+        )
+        main(["--db", db_path, "mine", str(log), "--service", "net"])
+        capsys.readouterr()
+        main(["--db", db_path, "report", "--service", "net"])
+        out = capsys.readouterr().out
+        assert "# Sequence-RTG pattern review" in out
+        assert "%srcip%" in out

@@ -1,0 +1,72 @@
+"""Static validation of every dataset specification.
+
+These tests catch spec rot: templates referencing unknown slot types,
+headers that stop matching their dataset's documented format, regexes
+that no longer compile, and seed collisions that would correlate
+datasets.
+"""
+
+import random
+import re
+
+import pytest
+
+from repro.loghub import DATASET_NAMES
+from repro.loghub.datasets import spec_for
+from repro.loghub.generator import _SLOT_RE, FILLERS
+
+#: expected header shape per dataset (prefix of the raw line)
+HEADER_SHAPES = {
+    "HDFS": r"^0811\d\d \d{6} \d+ \w+ \S+: ",
+    "Hadoop": r"^2015-10-\d+ \d{2}:\d{2}:\d{2},\d{3} \w+ \[main\] \S+: ",
+    "Spark": r"^17/06/\d{2} \d{2}:\d{2}:\d{2} INFO \S+: ",
+    "Zookeeper": r"^2015-07-\d+ \d{2}:\d{2}:\d{2},\d{3} - \w+ +\[main:\S+@\d+\] - ",
+    "OpenStack": r"^2017-05-16 \d{2}:\d{2}:\d{2}\.\d{3} \d+ \w+ \S+ \[req-[0-9a-f-]+\] ",
+    "BGL": r"^- \d+ 2005\.06\.\d{2} R\d{2}-M\d-N\d+-C:J\d{2}-U\d{2} ",
+    "HPC": r"^\d{5} node-\d+ \S+ \d+ 1 ",
+    "Thunderbird": r"^- \d+ 2005\.11\.\d{2} dn\d+ Nov \d+ \d{2}:\d{2}:\d{2} dn\d+/dn\d+ \S+\[\d+\]: ",
+    "Windows": r"^2016-09-\d+ \d{2}:\d{2}:\d{2}, Info +\S+ ",
+    "Linux": r"^\w{3} \d+ \d{2}:\d{2}:\d{2} combo \S+\[\d+\]: ",
+    "Mac": r"^\w{3} \d+ \d{2}:\d{2}:\d{2} calvisitor-10-105-160-95 \S+\[\d+\]: ",
+    "Android": r"^03-\d{2} \d{2}:\d{2}:\d{2}\.\d{3} +\d+ +\d+ [DIWEV] \S+: ",
+    "HealthApp": r"^201712\d{2}-\d+:\d+:\d+:\d{3}\|\S+\|\d+\|",
+    "Apache": r"^\[\w{3} Jun \d{2} \d{2}:\d{2}:\d{2} 2005\] \[\w+\] ",
+    "OpenSSH": r"^\w{3} \d+ \d{2}:\d{2}:\d{2} LabSZ \S+\[\d+\]: ",
+    "Proxifier": r"^\[\d{2}\.\d{2} \d{2}:\d{2}:\d{2}\] ",
+}
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+class TestSpecValidity:
+    def test_all_slots_known(self, name):
+        spec = spec_for(name)
+        for template in list(spec.templates) + list(spec.rare_templates):
+            for match in _SLOT_RE.finditer(template.text):
+                assert match.group(1) in FILLERS, (name, match.group(0))
+
+    def test_header_shape(self, name):
+        spec = spec_for(name)
+        rng = random.Random(0)
+        shape = re.compile(HEADER_SHAPES[name])
+        for template in spec.templates[:3]:
+            header = spec.header(rng, template.component)
+            assert shape.match(header), (name, header)
+
+    def test_preprocess_regexes_compile(self, name):
+        spec = spec_for(name)
+        for pattern in spec.preprocess:
+            re.compile(pattern)
+
+    def test_template_texts_unique(self, name):
+        spec = spec_for(name)
+        texts = [t.text for t in spec.templates + spec.rare_templates]
+        assert len(texts) == len(set(texts)), name
+
+    def test_common_templates_nonempty(self, name):
+        spec = spec_for(name)
+        assert len(spec.templates) >= 3 or name == "Apache"
+
+
+def test_dataset_seeds_distinct():
+    seeds = [spec_for(name).seed for name in DATASET_NAMES]
+    assert len(seeds) == len(set(seeds))

@@ -1,0 +1,88 @@
+"""Grouping accuracy metric and the evaluation drivers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines import Drain
+from repro.loghub import (
+    evaluate_baseline,
+    evaluate_sequence_rtg,
+    grouping_accuracy,
+    load_dataset,
+)
+from repro.loghub.generator import DatasetSpec, Template, generate
+
+
+class TestGroupingAccuracy:
+    def test_perfect(self):
+        assert grouping_accuracy(["a", "b", "a"], [1, 2, 1]) == 1.0
+
+    def test_label_names_irrelevant(self):
+        assert grouping_accuracy(["x", "y"], ["anything", "else"]) == 1.0
+
+    def test_split_zeroes_the_event(self):
+        # truth {0,1,2} split into {0,1} and {2}: all three wrong
+        assert grouping_accuracy(["a", "a", "a"], [1, 1, 2]) == 0.0
+
+    def test_merge_zeroes_both_events(self):
+        assert grouping_accuracy(["a", "a", "b"], [1, 1, 1]) == 0.0
+
+    def test_partial(self):
+        truth = ["a", "a", "b", "b"]
+        predicted = [1, 1, 2, 3]  # a correct, b split
+        assert grouping_accuracy(truth, predicted) == 0.5
+
+    def test_empty(self):
+        assert grouping_accuracy([], []) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouping_accuracy(["a"], [1, 2])
+
+    @given(st.lists(st.integers(0, 5), max_size=40))
+    def test_identity_prediction_is_perfect(self, truth):
+        assert grouping_accuracy(truth, list(truth)) == 1.0
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+    def test_singleton_prediction_score(self, truth):
+        # predicting every message as its own cluster is only right for
+        # messages whose truth cluster is a singleton
+        predicted = list(range(len(truth)))
+        expected = sum(1 for t in truth if truth.count(t) == 1) / len(truth)
+        assert grouping_accuracy(truth, predicted) == pytest.approx(expected)
+
+
+def small_dataset():
+    spec = DatasetSpec(
+        name="Small",
+        templates=[
+            Template("request {int} from {ip} ok"),
+            Template("disk {id} full"),
+            Template("service restarted"),
+        ],
+        seed=3,
+    )
+    return generate(spec, n=150)
+
+
+class TestDrivers:
+    def test_sequence_rtg_high_on_easy_data(self):
+        score = evaluate_sequence_rtg(small_dataset(), mode="raw")
+        assert score > 0.95
+
+    def test_preprocessed_mode(self):
+        score = evaluate_sequence_rtg(small_dataset(), mode="preprocessed")
+        assert score > 0.95
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            evaluate_sequence_rtg(small_dataset(), mode="cooked")
+
+    def test_baseline_driver(self):
+        assert evaluate_baseline(Drain(), small_dataset()) > 0.9
+
+    def test_apache_near_perfect_like_paper(self):
+        # Table II: Apache = 1.0 for Sequence-RTG in both modes
+        ds = load_dataset("Apache")
+        assert evaluate_sequence_rtg(ds, "raw") > 0.97
+        assert evaluate_sequence_rtg(ds, "preprocessed") > 0.97

@@ -1,0 +1,122 @@
+"""Dataset generator: determinism, slot filling, schedules."""
+
+import re
+
+import pytest
+
+from repro.loghub.generator import (
+    DatasetSpec,
+    FILLERS,
+    LabeledDataset,
+    Template,
+    generate,
+)
+
+
+def tiny_spec(**overrides) -> DatasetSpec:
+    kwargs = dict(
+        name="Tiny",
+        templates=[
+            Template("request {int} from {ip} ok"),
+            Template("disk {path} full"),
+        ],
+        rare_templates=[Template("panic at {hex8}")],
+        preprocess=[r"(\d{1,3}\.){3}\d{1,3}"],
+        seed=5,
+    )
+    kwargs.update(overrides)
+    return DatasetSpec(**kwargs)
+
+
+class TestGeneration:
+    def test_line_count_and_labels(self):
+        ds = generate(tiny_spec(), n=200)
+        assert isinstance(ds, LabeledDataset)
+        assert len(ds.lines) == 200
+        assert set(ds.truth()) <= {"E1", "E2", "E3"}
+        assert ds.n_events == 3
+
+    def test_deterministic(self):
+        a = generate(tiny_spec(), n=100)
+        b = generate(tiny_spec(), n=100)
+        assert [l.raw for l in a.lines] == [l.raw for l in b.lines]
+
+    def test_seed_changes_output(self):
+        a = generate(tiny_spec(), n=100, seed=1)
+        b = generate(tiny_spec(), n=100, seed=2)
+        assert [l.raw for l in a.lines] != [l.raw for l in b.lines]
+
+    def test_slots_filled(self):
+        ds = generate(tiny_spec(), n=100)
+        for line in ds.lines:
+            assert "{" not in line.content
+
+    def test_preprocess_applied(self):
+        ds = generate(tiny_spec(), n=200)
+        e1 = [l for l in ds.lines if l.event_id == "E1"]
+        assert e1, "E1 should appear in 200 draws"
+        assert all("<*>" in l.preprocessed for l in e1)
+        assert all(not re.search(r"(\d{1,3}\.){3}\d{1,3}", l.preprocessed) for l in e1)
+
+    def test_rare_templates_one_to_three_lines(self):
+        ds = generate(tiny_spec(), n=500)
+        n_rare = sum(1 for l in ds.lines if l.event_id == "E3")
+        assert 1 <= n_rare <= 3
+
+    def test_header_prepended(self):
+        spec = tiny_spec(header=lambda rng, comp: "HDR ")
+        ds = generate(spec, n=10)
+        assert all(l.raw == "HDR " + l.content for l in ds.lines)
+
+    def test_unknown_slot_raises(self):
+        spec = tiny_spec(templates=[Template("bad {nosuchslot} here")])
+        with pytest.raises(KeyError):
+            generate(spec, n=5)
+
+
+class TestBoundedPools:
+    def test_pool_size_respected(self):
+        spec = tiny_spec(templates=[Template("u {user:3} x")], rare_templates=[])
+        ds = generate(spec, n=500)
+        values = {l.content.split()[1] for l in ds.lines}
+        assert 1 < len(values) <= 3
+
+    def test_unbounded_slot_varies_widely(self):
+        spec = tiny_spec(templates=[Template("n {int} x")], rare_templates=[])
+        ds = generate(spec, n=300)
+        values = {l.content.split()[1] for l in ds.lines}
+        assert len(values) > 50
+
+
+class TestFillers:
+    @pytest.mark.parametrize("kind", sorted(FILLERS))
+    def test_filler_produces_nonempty(self, kind):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(20):
+            assert FILLERS[kind](rng)
+
+    def test_hex_filler_never_pure_integer(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(200):
+            assert not FILLERS["hex8"](rng).isdigit()
+
+    def test_alnumint_produces_both_kinds(self):
+        import random
+
+        rng = random.Random(0)
+        draws = [FILLERS["alnumint"](rng) for _ in range(100)]
+        assert any(d.isdigit() for d in draws)
+        assert any(not d.isdigit() for d in draws)
+
+    def test_badtime_has_single_digit_variants(self):
+        import random
+
+        rng = random.Random(0)
+        draws = [FILLERS["badtime"](rng) for _ in range(100)]
+        unpadded = [d for d in draws if re.search(r"-\d:", d)]
+        padded = [d for d in draws if re.search(r"-\d\d:", d)]
+        assert unpadded and padded

@@ -1,0 +1,141 @@
+"""Parser: variable acceptance rules, best-match scoring, REST handling."""
+
+import pytest
+
+from repro.analyzer.pattern import Pattern, PatternToken, VarClass
+from repro.parser import Parser
+from repro.scanner import Scanner
+
+SC = Scanner()
+
+
+def pattern_from(text: str, service: str = "svc") -> Pattern:
+    return Pattern.from_text(text, service)
+
+
+def match(parser: Parser, message: str):
+    return parser.match(SC.scan(message))
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize(
+        "pattern_text, message, should_match",
+        [
+            ("count %integer%", "count 42", True),
+            ("count %integer%", "count 4.2", False),
+            ("load %float%", "load 0.93", True),
+            ("load %float%", "load 7", True),  # integers widen to float
+            ("from %ipv4%", "from 10.0.0.1", True),
+            ("from %ipv4%", "from verywrong", False),
+            ("peer %ipv6%", "peer fe80::1", True),
+            ("dev %mac%", "dev 00:1b:44:11:3a:b7", True),
+            ("at %msgtime%", "at 2021-09-14 08:12:33", True),
+            ("at %msgtime%", "at midnight", False),
+            ("get %url%", "get http://example.com/x", True),
+            ("x %string% y", "x anything y", True),
+            ("x %alphanum% y", "x blk_123 y", True),
+            ("x %alphanum% y", "x 123 y", True),
+            ("x %alphanum% y", "x ??? y", False),
+        ],
+    )
+    def test_var_classes(self, pattern_text, message, should_match):
+        parser = Parser([pattern_from(pattern_text)])
+        assert (match(parser, message) is not None) is should_match
+
+    def test_email_and_host_via_enrichment(self):
+        parser = Parser([pattern_from("mail from %email% via %host%")])
+        hit = match(parser, "mail from ops@example.com via mx1.example.com")
+        assert hit is not None
+        assert hit.fields == {
+            "email": "ops@example.com",
+            "host": "mx1.example.com",
+        }
+
+
+class TestScoring:
+    def test_most_static_tokens_wins(self):
+        generic = pattern_from("%string% %string1% %string2%")
+        specific = pattern_from("session closed %string%")
+        parser = Parser([generic, specific])
+        hit = match(parser, "session closed abruptly")
+        assert hit.pattern.text == "session closed %string%"
+        assert hit.static_matches == 2
+
+    def test_tie_broken_by_fewer_variables(self):
+        a = Pattern(
+            tokens=[
+                PatternToken.static("x"),
+                PatternToken.variable(VarClass.STRING, "s1"),
+                PatternToken.variable(VarClass.STRING, "s2"),
+            ],
+            service="svc",
+        )
+        b = Pattern(
+            tokens=[
+                PatternToken.static("x"),
+                PatternToken.variable(VarClass.REST, "rest"),
+            ],
+            service="svc",
+        )
+        parser = Parser([a, b])
+        hit = match(parser, "x one two")
+        assert hit.pattern is b  # 1 variable beats 2 at equal static score
+
+
+class TestFieldExtraction:
+    def test_fields_keyed_by_names(self):
+        parser = Parser([pattern_from("%action% from %srcip% port %srcport%")])
+        hit = match(parser, "Accepted from 1.2.3.4 port 22")
+        assert hit.fields == {
+            "action": "Accepted",
+            "srcip": "1.2.3.4",
+            "srcport": "22",
+        }
+
+
+class TestRest:
+    def test_rest_consumes_remainder(self):
+        parser = Parser([pattern_from("panic: %ignorerest%")])
+        hit = match(parser, "panic: everything after this is ignored 123")
+        assert hit is not None
+        assert "everything" in hit.fields["ignorerest"]
+
+    def test_rest_matches_empty_tail(self):
+        parser = Parser([pattern_from("panic %ignorerest%")])
+        assert match(parser, "panic") is not None
+
+    def test_truncated_message_matches(self):
+        parser = Parser([pattern_from("head %integer%")])
+        assert match(parser, "head 5\nsecond line") is not None
+
+
+class TestMisc:
+    def test_no_match_returns_none(self):
+        parser = Parser([pattern_from("known pattern")])
+        assert match(parser, "completely different words") is None
+
+    def test_empty_parser_matches_nothing(self):
+        assert match(Parser(), "anything") is None
+        assert len(Parser()) == 0
+
+    def test_add_pattern_idempotent(self):
+        parser = Parser()
+        p = pattern_from("a %integer%")
+        parser.add_pattern(p)
+        parser.add_pattern(p)
+        assert len(parser) == 1
+
+    def test_shorter_message_no_match(self):
+        parser = Parser([pattern_from("a b c")])
+        assert match(parser, "a b") is None
+
+    def test_longer_message_no_match(self):
+        parser = Parser([pattern_from("a b")])
+        assert match(parser, "a b c") is None
+
+    def test_shared_prefix_patterns(self):
+        parser = Parser(
+            [pattern_from("job %integer% started"), pattern_from("job %integer% done")]
+        )
+        assert match(parser, "job 9 started").pattern.text.endswith("started")
+        assert match(parser, "job 9 done").pattern.text.endswith("done")

@@ -1,0 +1,79 @@
+"""Hexadecimal FSM: MAC and IPv6 recognition."""
+
+import pytest
+
+from repro.scanner.hex_fsm import HexFSM
+from repro.scanner.token_types import TokenType
+
+FSM = HexFSM()
+
+
+def classify(s: str, i: int = 0):
+    hit = FSM.match(s, i)
+    if hit is None:
+        return None
+    end, ttype = hit
+    return s[i:end], ttype
+
+
+class TestMac:
+    @pytest.mark.parametrize(
+        "mac",
+        ["00:1B:44:11:3A:B7", "aa:bb:cc:dd:ee:ff", "00-1b-44-11-3a-b7"],
+    )
+    def test_mac_forms(self, mac):
+        assert classify(mac) == (mac, TokenType.MAC)
+
+    def test_mixed_separators_rejected(self):
+        assert classify("00:1b-44:11:3a:b7") is None
+
+    def test_five_groups_not_mac(self):
+        result = classify("00:1b:44:11:3a")
+        assert result is None or result[1] is not TokenType.MAC
+
+    def test_single_digit_groups_not_mac(self):
+        result = classify("0:1:2:3:4:5")
+        assert result is None or result[1] is not TokenType.MAC
+
+
+class TestIpv6:
+    @pytest.mark.parametrize(
+        "addr",
+        [
+            "fe80::1ff:fe23:4567:890a",
+            "2001:0db8:85a3:0000:0000:8a2e:0370:7334",
+            "::1",
+            "fe80::",
+            "::ffff:10.1.2.3",  # embedded IPv4
+        ],
+    )
+    def test_ipv6_forms(self, addr):
+        assert classify(addr) == (addr, TokenType.IPV6)
+
+    def test_plain_numbers_with_colons_not_ipv6(self):
+        # "12:34:56" is time/literal territory, not an address
+        assert classify("12:34:56") is None
+
+    def test_two_double_colons_rejected(self):
+        assert classify("fe80::1::2") is None
+
+    def test_group_longer_than_four_rejected(self):
+        assert classify("12345:1:2:3:4:5:6:7") is None
+
+
+class TestBoundaries:
+    def test_mac_followed_by_comma(self):
+        assert classify("00:1b:44:11:3a:b7, up") == ("00:1b:44:11:3a:b7", TokenType.MAC)
+
+    def test_mac_prefix_of_word_rejected(self):
+        assert classify("00:1b:44:11:3a:b7x") is None
+
+    def test_mid_string_match(self):
+        s = "addr fe80::1 ok"
+        end, ttype = FSM.match(s, 5)
+        assert s[5:end] == "fe80::1"
+        assert ttype is TokenType.IPV6
+
+    def test_non_hex_start(self):
+        assert FSM.match("ghij", 0) is None
+        assert FSM.match("", 0) is None

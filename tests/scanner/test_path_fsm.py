@@ -1,0 +1,76 @@
+"""Path FSM (future-work extension): recognition and rejections."""
+
+import pytest
+
+from repro.scanner.path_fsm import PathFSM
+
+FSM = PathFSM()
+
+
+def match_text(s: str, i: int = 0) -> str | None:
+    end = FSM.match(s, i)
+    return s[i:end] if end > 0 else None
+
+
+class TestPosix:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "/var/log/messages",
+            "/usr/lib/python3.11/site-packages",
+            "/tmp/core.1234",
+            "/data/",
+            "/etc",
+        ],
+    )
+    def test_absolute(self, path):
+        assert match_text(path) == path
+
+    def test_followed_by_space(self):
+        assert match_text("/var/log/messages not this") == "/var/log/messages"
+
+    def test_trailing_sentence_dot_excluded(self):
+        assert match_text("/var/log/messages. Next") == "/var/log/messages"
+
+    def test_bare_slash_rejected(self):
+        assert match_text("/ alone") is None
+
+
+class TestRelative:
+    def test_two_separators_accepted(self):
+        assert match_text("src/repro/scanner") == "src/repro/scanner"
+
+    def test_one_separator_rejected(self):
+        # ratios like "3/4" and pairs like "a/b" are not paths
+        assert match_text("a/b") is None
+
+    def test_double_slash_rejected(self):
+        assert match_text("http//x/y/z") is None
+
+
+class TestWindows:
+    def test_drive_path(self):
+        assert match_text("C:\\Windows\\System32\\drivers") == "C:\\Windows\\System32\\drivers"
+
+    def test_unc_path(self):
+        assert match_text("\\\\server\\share\\dir") == "\\\\server\\share\\dir"
+
+    def test_bare_backslash_rejected(self):
+        assert match_text("\\x") is None
+
+
+class TestScannerIntegration:
+    def test_disabled_by_default(self):
+        from repro.scanner import Scanner, ScannerConfig
+        from repro.scanner.token_types import TokenType
+
+        default = Scanner().scan("open /var/log/messages failed")
+        assert [t.type for t in default.tokens if t.text.startswith("/")] == [
+            TokenType.LITERAL
+        ]
+        enabled = Scanner(ScannerConfig(enable_path_fsm=True)).scan(
+            "open /var/log/messages failed"
+        )
+        assert [t.type for t in enabled.tokens if t.text.startswith("/")] == [
+            TokenType.PATH
+        ]

@@ -1,0 +1,184 @@
+"""Scanner behaviour: classification, spacing, multi-line, properties."""
+
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scanner import ScannedMessage, Scanner, ScannerConfig
+from repro.scanner.token_types import TokenType, reconstruct
+
+SC = Scanner()
+
+
+def types_of(message: str) -> list[TokenType]:
+    return [t.type for t in SC.scan(message).tokens]
+
+
+def texts_of(message: str) -> list[str]:
+    return [t.text for t in SC.scan(message).tokens]
+
+
+class TestClassification:
+    def test_sshd_line(self):
+        msg = "Accepted password for root from 192.168.1.5 port 22 ssh2"
+        assert types_of(msg) == [
+            TokenType.LITERAL,  # Accepted
+            TokenType.LITERAL,  # password
+            TokenType.LITERAL,  # for
+            TokenType.LITERAL,  # root
+            TokenType.LITERAL,  # from
+            TokenType.IPV4,
+            TokenType.LITERAL,  # port
+            TokenType.INTEGER,
+            TokenType.LITERAL,  # ssh2
+        ]
+
+    def test_negative_integer(self):
+        assert types_of("rc -2")[-1] is TokenType.INTEGER
+
+    def test_float_and_exponent(self):
+        assert types_of("took 3.25 s")[1] is TokenType.FLOAT
+        assert types_of("x 1.5e-3 y")[1] is TokenType.FLOAT
+
+    def test_ip_with_port_splits(self):
+        assert texts_of("10.0.0.1:8080") == ["10.0.0.1", ":", "8080"]
+        assert types_of("10.0.0.1:8080") == [
+            TokenType.IPV4,
+            TokenType.LITERAL,
+            TokenType.INTEGER,
+        ]
+
+    def test_invalid_octet_not_ipv4(self):
+        assert types_of("999.1.2.3")[0] is TokenType.LITERAL
+
+    def test_url(self):
+        tokens = SC.scan("fetch https://example.com/a/b?x=1&y=2 done").tokens
+        assert tokens[1].type is TokenType.URL
+        assert tokens[1].text == "https://example.com/a/b?x=1&y=2"
+
+    def test_url_trailing_punctuation_dropped(self):
+        tokens = SC.scan("see http://example.com/x.").tokens
+        assert tokens[1].text == "http://example.com/x"
+
+    def test_version_is_literal(self):
+        assert types_of("version 1.2.3")[1] is TokenType.LITERAL
+
+    def test_hex_0x_stays_literal(self):
+        # scan-time types are only Time/IPv4/IPv6/MAC/Int/Float/URL/Literal
+        assert types_of("at 0x7ffe01")[1] is TokenType.LITERAL
+
+    def test_brackets_and_quotes_split(self):
+        assert texts_of('sshd[24208]: "x"') == [
+            "sshd", "[", "24208", "]", ":", '"', "x", '"',
+        ]
+
+    def test_equals_splits_for_kv_detection(self):
+        assert texts_of("rc=-2") == ["rc", "=", "-2"]
+
+    def test_trailing_sentence_punct_carved(self):
+        assert texts_of("terminating.") == ["terminating", "."]
+        assert texts_of("really?!") == ["really", "?", "!"]
+
+    def test_ellipsis_kept_whole(self):
+        assert texts_of("loading...")[0:1] == ["loading"]
+
+    def test_percent_kept_in_word(self):
+        # %-delimited source fields survive into tokens (the documented
+        # unknown-tag hazard, §IV)
+        assert "%disk%" in texts_of("usage %disk% high")
+
+
+class TestSpacing:
+    def test_is_space_before_flags(self):
+        tokens = SC.scan("a=1 b").tokens
+        assert [t.is_space_before for t in tokens] == [False, False, False, True]
+
+    def test_reconstruct_exact(self):
+        msg = "proxy.example.com:5070 close, 403 bytes sent (426 B)"
+        assert reconstruct(SC.scan(msg).tokens) == msg
+
+    def test_tabs_normalised_to_space(self):
+        assert reconstruct(SC.scan("a\tb").tokens) == "a b"
+
+    def test_multiple_spaces_collapse(self):
+        assert reconstruct(SC.scan("Jan  2 rest").tokens) == "Jan 2 rest"
+
+
+class TestMultiline:
+    def test_truncated_at_first_newline(self):
+        scanned = SC.scan("first line\nsecond line\nthird")
+        assert scanned.truncated
+        assert scanned.tokens[-1].type is TokenType.REST
+        assert reconstruct(scanned.tokens) == "first line"
+
+    def test_single_line_not_truncated(self):
+        assert not SC.scan("single line").truncated
+
+    def test_max_tokens_cap(self):
+        scanner = Scanner(ScannerConfig(max_tokens=5))
+        scanned = scanner.scan("one two three four five six seven")
+        assert scanned.truncated
+        assert len(scanned.tokens) <= 6  # 5 + REST marker
+        assert scanned.tokens[-1].type is TokenType.REST
+
+
+class TestScannedMessage:
+    def test_metadata(self):
+        scanned = SC.scan("a b", service="svc")
+        assert isinstance(scanned, ScannedMessage)
+        assert scanned.service == "svc"
+        assert scanned.token_count() == 2
+        assert scanned.token_texts() == ["a", "b"]
+
+    def test_empty_message(self):
+        assert SC.scan("").tokens == []
+        assert SC.scan("   ").tokens == []
+
+
+# --- property-based tests ---------------------------------------------------
+
+_word = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=10,
+)
+_message = st.lists(_word, min_size=0, max_size=12).map(" ".join)
+
+
+class TestProperties:
+    @given(_message)
+    @settings(max_examples=200)
+    def test_reconstruct_round_trip(self, message):
+        """Scanning then reconstructing reproduces the space-normalised
+        message — the paper's whitespace-management guarantee."""
+        normalised = re.sub(r"\s+", " ", message).strip()
+        assert reconstruct(SC.scan(message).tokens) == normalised
+
+    @given(_message)
+    @settings(max_examples=200)
+    def test_token_invariants(self, message):
+        tokens = SC.scan(message).tokens
+        for tok in tokens:
+            assert tok.text or tok.type is TokenType.REST
+            assert not tok.text or not tok.text.isspace()
+        positions = [t.pos for t in tokens]
+        assert positions == sorted(positions)
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=300)
+    def test_never_crashes_and_covers_content(self, message):
+        scanned = SC.scan(message)
+        body = message.split("\n")[0]
+        rebuilt = reconstruct(scanned.tokens)
+        # every non-space character of the first line survives scanning
+        assert sorted(rebuilt.replace(" ", "")) == sorted(
+            "".join(body.split())
+        )
+
+    @given(_message)
+    @settings(max_examples=100)
+    def test_deterministic(self, message):
+        a = [(t.text, t.type) for t in SC.scan(message).tokens]
+        b = [(t.text, t.type) for t in SC.scan(message).tokens]
+        assert a == b

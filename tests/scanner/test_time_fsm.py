@@ -1,0 +1,122 @@
+"""Datetime FSM: layout coverage, boundaries, and the leading-zero rule."""
+
+import pytest
+
+from repro.scanner.time_fsm import TimeFSM
+
+FSM = TimeFSM()
+FSM_SINGLE = TimeFSM(allow_single_digit=True)
+
+
+def match_text(fsm: TimeFSM, s: str, i: int = 0) -> str | None:
+    end = fsm.match(s, i)
+    return s[i:end] if end > 0 else None
+
+
+class TestLayouts:
+    @pytest.mark.parametrize(
+        "stamp",
+        [
+            "2021-09-14 08:12:33",
+            "2021-09-14 08:12:33.123",
+            "2021-09-14 08:12:33,456",
+            "2021-09-14T08:12:33",
+            "2021-09-14T08:12:33.123",
+            "2021-09-14T08:12:33+02:00",
+            "2021-09-14T08:12:33Z",
+            "2021/09/14 08:12:33",
+            "2021.09.14 08:12:33",
+            "2005-06-03-15.42.50.363779",  # BGL RAS
+            "2021-09-14",
+            "09/14/2021 08:12:33",
+            "14/Sep/2021:08:12:33 +0200",  # apache access
+            "03-17 16:13:38.811",  # android logcat
+            "Jan 12 06:26:19",  # syslog
+            "Jan  2 06:26:19",  # syslog padded day
+            "Thu Jun 09 06:07:04 2005",  # apache error
+            "Sep 14 08:12:33 2021",
+            "081109 203615",  # HDFS compact
+            "20171223-22:15:29:606",  # HealthApp padded
+            "08:12:33",
+            "08:12:33.250",
+            "08:12:33,250",
+            "08:12",
+            "Mon, 02 Jan 2006 15:04:05 -0700",  # RFC 2822
+            "Tue, 14 Sep 2021 08:12:33 UTC",
+            "14-Sep-2021 08:12:33",  # Oracle-style
+            "2021 Sep 14 08:12:33",
+        ],
+    )
+    def test_full_match(self, stamp):
+        assert match_text(FSM, stamp) == stamp
+
+    def test_longest_match_wins(self):
+        s = "2021-09-14 08:12:33.123 rest"
+        assert match_text(FSM, s) == "2021-09-14 08:12:33.123"
+
+    def test_match_mid_string(self):
+        s = "at 08:12:33 precisely"
+        assert match_text(FSM, s, 3) == "08:12:33"
+
+
+class TestBoundaries:
+    def test_rejects_prefix_of_mac_address(self):
+        # "01:23:45" would match hh:mm:ss but continues with ':67' — a MAC
+        assert FSM.match("01:23:45:67:89:ab", 0) == -1
+
+    def test_rejects_when_digits_continue(self):
+        assert FSM.match("08:12:334", 0) == -1
+
+    def test_accepts_terminal_punctuation(self):
+        assert match_text(FSM, "08:12:33,") == "08:12:33"
+        assert match_text(FSM, "08:12:33.") == "08:12:33"
+        assert match_text(FSM, "(08:12:33)", 1) == "08:12:33"
+
+    def test_rejects_alpha_continuation(self):
+        assert FSM.match("2021-09-14x", 0) == -1
+
+    def test_out_of_range_values(self):
+        assert FSM.match("99:99:99", 0) == -1
+        assert FSM.match("2021-13-40 08:12:33", 0) != len("2021-13-40 08:12:33")
+
+
+class TestNonMatches:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "hello",
+            "1.2.3",  # version, not a date
+            "12345",
+            "::1",
+            "1,234",
+            "a08:12:33"[0:1],
+        ],
+    )
+    def test_no_match(self, text):
+        assert FSM.match(text, 0) == -1
+
+    def test_month_prefix_required_for_alpha(self):
+        assert FSM.match("Monday might start like a day name", 0) == -1
+        assert FSM.match("January 2 08:12:33", 0) > 0
+
+
+class TestLeadingZeroLimitation:
+    """Paper §IV: the FSM cannot parse single-digit time parts; §VI lists
+    the fix as future work (``allow_single_digit=True``)."""
+
+    RAW = "20171224-0:7:20:444"
+
+    def test_default_rejects_healthapp_raw(self):
+        assert FSM.match(self.RAW, 0) == -1
+
+    def test_flag_accepts_healthapp_raw(self):
+        assert match_text(FSM_SINGLE, self.RAW) == self.RAW
+
+    def test_flag_accepts_bare_single_digit_clock(self):
+        assert match_text(FSM_SINGLE, "1:2:3") == "1:2:3"
+
+    def test_flag_keeps_padded_layouts(self):
+        assert match_text(FSM_SINGLE, "20171223-22:15:29:606") == "20171223-22:15:29:606"
+
+    def test_default_rejects_single_digit_clock(self):
+        assert FSM.match("1:2:3", 0) == -1

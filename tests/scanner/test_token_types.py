@@ -1,0 +1,68 @@
+"""Token model: variable classification and exact reconstruction."""
+
+from repro.scanner.token_types import (
+    ANALYSIS_TIME_TYPES,
+    SCAN_TIME_TYPES,
+    Token,
+    TokenType,
+    reconstruct,
+)
+
+
+class TestTokenType:
+    def test_literal_and_key_are_static(self):
+        assert not TokenType.LITERAL.is_variable()
+        assert not TokenType.KEY.is_variable()
+
+    def test_typed_tokens_are_variables(self):
+        for ttype in (
+            TokenType.INTEGER,
+            TokenType.FLOAT,
+            TokenType.IPV4,
+            TokenType.IPV6,
+            TokenType.MAC,
+            TokenType.TIME,
+            TokenType.URL,
+            TokenType.EMAIL,
+            TokenType.HOST,
+            TokenType.VALUE,
+            TokenType.REST,
+        ):
+            assert ttype.is_variable(), ttype
+
+    def test_type_partitions(self):
+        assert SCAN_TIME_TYPES & ANALYSIS_TIME_TYPES == frozenset()
+
+
+class TestToken:
+    def test_with_type_preserves_position_and_space(self):
+        tok = Token("k", TokenType.LITERAL, is_space_before=True, pos=7)
+        retyped = tok.with_type(TokenType.KEY, semantic="k")
+        assert retyped.type is TokenType.KEY
+        assert retyped.is_space_before and retyped.pos == 7
+        assert retyped.semantic == "k"
+
+    def test_with_type_keeps_existing_semantic(self):
+        tok = Token("v", TokenType.LITERAL, semantic="orig")
+        assert tok.with_type(TokenType.VALUE).semantic == "orig"
+
+
+class TestReconstruct:
+    def test_spaces_only_where_flagged(self):
+        tokens = [
+            Token("a", TokenType.LITERAL, False),
+            Token("=", TokenType.LITERAL, False),
+            Token("1", TokenType.INTEGER, False),
+            Token("done", TokenType.LITERAL, True),
+        ]
+        assert reconstruct(tokens) == "a=1 done"
+
+    def test_rest_marker_invisible(self):
+        tokens = [
+            Token("head", TokenType.LITERAL, False),
+            Token("", TokenType.REST, True),
+        ]
+        assert reconstruct(tokens) == "head"
+
+    def test_empty(self):
+        assert reconstruct([]) == ""

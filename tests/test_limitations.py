@@ -1,0 +1,149 @@
+"""Executable documentation of the paper's §IV "Limitations".
+
+Each limitation the paper reports is reproduced here on purpose: these
+tests pin the *published* behaviour (and, where §VI lists a fix as
+future work, show the flag that repairs it).
+"""
+
+from repro.analyzer import Analyzer
+from repro.analyzer.pattern import Pattern, UnknownTagError
+from repro.core.config import RTGConfig
+from repro.core.patterndb import PatternDB
+from repro.core.pipeline import SequenceRTG
+from repro.core.records import LogRecord
+from repro.scanner import Scanner, ScannerConfig
+from repro.scanner.token_types import TokenType
+
+import pytest
+
+
+class TestLeadingZeroTimes:
+    """"the DateTime finite state machine of Sequence cannot correctly
+    detect time stamps where the leading zero on a time part is not
+    present" — with the §VI fix behind a flag."""
+
+    RAW = "20171224-0:7:20:444|Step_LSC|30002312|onStandStepChanged 3579"
+
+    def test_default_fails_to_parse_time(self):
+        tokens = Scanner().scan(self.RAW).tokens
+        assert tokens[0].type is not TokenType.TIME
+
+    def test_future_work_flag_fixes_it(self):
+        scanner = Scanner(ScannerConfig(allow_single_digit_time=True))
+        assert scanner.scan(self.RAW).tokens[0].type is TokenType.TIME
+
+    def test_split_produces_two_patterns_for_one_event(self):
+        """The observable consequence: padded and unpadded lines of the
+        same event land in different patterns."""
+        rtg = SequenceRTG(db=PatternDB())
+        messages = [
+            f"sync done at 20171224-{h:02d}:15:29:606 count {i}"
+            for i, h in enumerate((10, 11, 12))
+        ] + [
+            f"sync done at 20171224-0:7:{s}:444 count {i}"
+            for i, s in enumerate((20, 21, 22))
+        ]
+        result = rtg.analyze_by_service([LogRecord("app", m) for m in messages])
+        assert result.n_new_patterns == 2
+
+
+class TestAlnumIntegerFlip:
+    """"alphanumeric fields where it is common for the data to be fully
+    numeric in some cases may result in the production of two patterns
+    for the same event" (the Proxifier failure)."""
+
+    def test_two_patterns_for_one_event(self):
+        rtg = SequenceRTG(db=PatternDB())
+        messages = [f"sent ({v}) total" for v in ("426", "64K", "311", "12K")]
+        result = rtg.analyze_by_service([LogRecord("proxifier", m) for m in messages])
+        assert result.n_new_patterns == 2
+
+
+class TestPercentDelimiter:
+    """"log messages that contain fields delimited by the % sign ...
+    will cause an unknown tag error at parsing time"."""
+
+    def test_percent_field_survives_into_pattern(self):
+        analyzer = Analyzer()
+        scanner = Scanner()
+        patterns = analyzer.analyze(
+            [scanner.scan(f"usage %disk% at {i}") for i in range(4)]
+        )
+        assert any("%disk%" in p.text for p in patterns)
+
+    def test_reloading_such_a_pattern_errors(self):
+        with pytest.raises(UnknownTagError):
+            Pattern.from_text("usage %disk% at %integer%")
+
+
+class TestFewExamples:
+    """"Sequence-RTG unfortunately struggles to find patterns if only one
+    or two examples of the message is present ... Any pattern whose count
+    of matches is less than the threshold is considered useless and thus
+    not saved."""
+
+    def test_single_example_is_word_for_word(self):
+        rtg = SequenceRTG(db=PatternDB())
+        result = rtg.analyze_by_service(
+            [LogRecord("svc", "completely novel failure involving widget")]
+        )
+        (pattern,) = result.new_patterns
+        assert pattern.complexity == 0.0  # no variables discovered
+
+    def test_save_threshold_drops_rare_patterns(self):
+        rtg = SequenceRTG(db=PatternDB(), config=RTGConfig(save_threshold=3))
+        result = rtg.analyze_by_service(
+            [LogRecord("svc", "completely novel failure involving widget")]
+        )
+        assert result.n_new_patterns == 0
+        assert result.n_below_threshold == 1
+
+
+class TestMultiLine:
+    """"we decided to process them only to the first line break, create a
+    pattern only for that first line, and add a marker"."""
+
+    def test_pattern_from_first_line_only(self):
+        rtg = SequenceRTG(db=PatternDB())
+        stack_trace = "java.io.IOException: oops\n  at Foo.bar(Foo.java:1)\n  at Baz"
+        result = rtg.analyze_by_service([LogRecord("app", stack_trace)] * 3)
+        (pattern,) = result.new_patterns
+        assert "Foo.bar" not in pattern.text
+        assert pattern.tokens[-1].var_class is not None  # the ignore marker
+
+    def test_marker_lets_parser_ignore_the_rest(self):
+        rtg = SequenceRTG(db=PatternDB())
+        rtg.analyze_by_service(
+            [LogRecord("app", "fatal error occurred\ndetails follow")] * 3
+        )
+        parser = rtg.parser_for("app")
+        other = rtg.scanner.scan(
+            "fatal error occurred\ncompletely different second line", service="app"
+        )
+        assert parser.match(other) is not None
+
+
+class TestPathStrings:
+    """"some path strings are processed correctly but some may remain as
+    static text and generate multiple patterns for a single event" — the
+    §VI path FSM is the future-work fix."""
+
+    MESSAGES = [
+        "open /var/log/app/one.log failed",
+        "open /srv/data/two.db failed",
+        "open /etc/thing/three.conf failed",
+    ]
+
+    def _count_patterns(self, scanner_config):
+        config = RTGConfig(scanner=scanner_config)
+        rtg = SequenceRTG(db=PatternDB(), config=config)
+        result = rtg.analyze_by_service(
+            [LogRecord("svc", m) for m in self.MESSAGES]
+        )
+        return result.n_new_patterns
+
+    def test_default_splits_event_per_path(self):
+        assert self._count_patterns(ScannerConfig()) == 3
+
+    def test_path_fsm_unifies_the_event(self):
+        assert self._count_patterns(ScannerConfig(enable_path_fsm=True)) == 1

@@ -1,0 +1,37 @@
+"""Pattern id hashing: unique and reproducible per (pattern, service)."""
+
+import hashlib
+
+from repro._util.hashing import pattern_id
+
+
+class TestPatternId:
+    def test_deterministic(self):
+        a = pattern_id("%action% from %srcip% port %srcport%", "sshd")
+        b = pattern_id("%action% from %srcip% port %srcport%", "sshd")
+        assert a == b
+
+    def test_is_sha1_hex(self):
+        pid = pattern_id("x", "y")
+        assert len(pid) == 40
+        assert set(pid) <= set("0123456789abcdef")
+
+    def test_service_distinguishes(self):
+        assert pattern_id("same pattern", "sshd") != pattern_id("same pattern", "httpd")
+
+    def test_pattern_distinguishes(self):
+        assert pattern_id("a %integer%", "svc") != pattern_id("b %integer%", "svc")
+
+    def test_matches_manual_sha1(self):
+        text, service = "%string% connected", "mysvc"
+        expected = hashlib.sha1((text + service).encode()).hexdigest()
+        assert pattern_id(text, service) == expected
+
+    def test_unicode_safe(self):
+        pid = pattern_id("café %integer% établi", "réseau")
+        assert len(pid) == 40
+
+    def test_empty_inputs(self):
+        assert len(pattern_id("", "")) == 40
+        # concatenation boundary matters: (ab, c) != (a, bc)
+        assert pattern_id("ab", "c") == pattern_id("ab", "c")

@@ -1,0 +1,56 @@
+"""Zipf sampler: determinism, distribution shape, validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.sampling import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_deterministic_per_seed(self):
+        a = ZipfSampler(10, seed=3).sample_many(100)
+        b = ZipfSampler(10, seed=3).sample_many(100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = ZipfSampler(10, seed=1).sample_many(100)
+        b = ZipfSampler(10, seed=2).sample_many(100)
+        assert a != b
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(5, seed=0)
+        assert all(0 <= x < 5 for x in sampler.sample_many(500))
+
+    def test_rank_zero_most_frequent(self):
+        sampler = ZipfSampler(20, s=1.2, seed=0)
+        draws = sampler.sample_many(5000)
+        counts = [draws.count(i) for i in range(20)]
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[10]
+
+    def test_probabilities_sum_to_one(self):
+        probs = ZipfSampler(7, s=1.5, seed=0).probabilities()
+        assert abs(sum(probs) - 1.0) < 1e-12
+        assert all(probs[i] >= probs[i + 1] for i in range(len(probs) - 1))
+
+    def test_uniform_when_s_zero(self):
+        probs = ZipfSampler(4, s=0.0, seed=0).probabilities()
+        assert all(abs(p - 0.25) < 1e-12 for p in probs)
+
+    def test_single_item(self):
+        assert ZipfSampler(1, seed=0).sample_many(10) == [0] * 10
+
+    @pytest.mark.parametrize("n", [0, -1])
+    def test_invalid_n(self, n):
+        with pytest.raises(ValueError):
+            ZipfSampler(n)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(5, s=-0.1)
+
+    @given(n=st.integers(1, 50), s=st.floats(0, 3), seed=st.integers(0, 2**16))
+    def test_property_range_and_probs(self, n, s, seed):
+        sampler = ZipfSampler(n, s=s, seed=seed)
+        assert 0 <= sampler.sample() < n
+        assert abs(sum(sampler.probabilities()) - 1.0) < 1e-9

@@ -1,0 +1,52 @@
+"""Stage timer accounting."""
+
+from repro._util.timers import StageTimer
+
+
+class TestStageTimer:
+    def test_accumulates_elapsed(self):
+        timer = StageTimer()
+        with timer.stage("scan"):
+            pass
+        with timer.stage("scan"):
+            pass
+        assert timer.count("scan") == 2
+        assert timer.elapsed("scan") >= 0.0
+
+    def test_unknown_stage_is_zero(self):
+        timer = StageTimer()
+        assert timer.elapsed("nope") == 0.0
+        assert timer.count("nope") == 0
+
+    def test_total_sums_stages(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            pass
+        with timer.stage("b"):
+            pass
+        assert abs(timer.total() - (timer.elapsed("a") + timer.elapsed("b"))) < 1e-9
+
+    def test_report_snapshot_is_copy(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            pass
+        report = timer.report()
+        report["a"] = 999.0
+        assert timer.elapsed("a") != 999.0
+
+    def test_records_time_even_on_exception(self):
+        timer = StageTimer()
+        try:
+            with timer.stage("fail"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert timer.count("fail") == 1
+
+    def test_reset(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            pass
+        timer.reset()
+        assert timer.total() == 0.0
+        assert timer.count("a") == 0

@@ -1,0 +1,118 @@
+"""Pattern-triggered actions (paper §I/Fig. 1)."""
+
+import pytest
+
+from repro.analyzer.pattern import Pattern
+from repro.core.records import LogRecord
+from repro.workflow.actions import ActionEngine, ActionRule
+from repro.workflow.syslog_ng import SyslogNG
+
+
+@pytest.fixture()
+def routed():
+    """A syslog-ng with one promoted auth pattern plus a route helper."""
+    ng = SyslogNG()
+    pattern = Pattern.from_text(
+        "Failed password for %alphanum% from %srcip% port %srcport% ssh2", "sshd"
+    )
+    ng.promote([pattern])
+
+    def route(message, service="sshd"):
+        return ng.route(LogRecord(service, message)), pattern.id
+
+    return route
+
+
+def failed_login(i=1):
+    return f"Failed password for u{i} from 10.0.0.{i} port {4000 + i} ssh2"
+
+
+class TestDispatch:
+    def test_rule_fires_on_matching_pattern(self, routed):
+        result, pid = routed(failed_login())
+        engine = ActionEngine()
+        engine.add_rule(ActionRule(name="auth-fail", pattern_id=pid))
+        fired = engine.process("sshd", failed_login(), result)
+        assert fired == ["auth-fail"]
+        assert engine.counters["auth-fail"] == 1
+
+    def test_notification_carries_extracted_fields(self, routed):
+        result, pid = routed(failed_login(7))
+        engine = ActionEngine()
+        engine.add_rule(ActionRule(name="auth-fail", pattern_id=pid))
+        engine.process("sshd", failed_login(7), result)
+        (note,) = engine.drain_notifications()
+        assert note.fields["srcip"] == "10.0.0.7"
+        assert note.service == "sshd"
+        assert engine.notifications == []  # drained
+
+    def test_wildcard_rule_scoped_by_service(self, routed):
+        result, _ = routed(failed_login())
+        engine = ActionEngine()
+        engine.add_rule(ActionRule(name="any-sshd", pattern_id="*", service="sshd"))
+        engine.add_rule(ActionRule(name="any-httpd", pattern_id="*", service="httpd"))
+        fired = engine.process("sshd", failed_login(), result)
+        assert fired == ["any-sshd"]
+
+    def test_unmatched_messages_never_fire(self, routed):
+        result, _ = routed("garbled nonsense", service="sshd")
+        engine = ActionEngine()
+        engine.add_rule(ActionRule(name="all", pattern_id="*"))
+        assert engine.process("sshd", "garbled nonsense", result) == []
+
+    def test_other_pattern_does_not_fire(self, routed):
+        result, _ = routed(failed_login())
+        engine = ActionEngine()
+        engine.add_rule(ActionRule(name="specific", pattern_id="deadbeef" * 5))
+        assert engine.process("sshd", failed_login(), result) == []
+
+
+class TestCallbacks:
+    def test_callback_invoked(self, routed):
+        """The restart-a-service / run-a-diagnostic hook."""
+        result, pid = routed(failed_login())
+        calls = []
+        engine = ActionEngine()
+        engine.add_rule(
+            ActionRule(
+                name="restart",
+                pattern_id=pid,
+                notify=False,
+                callback=lambda rule, res, msg: calls.append((rule.name, msg)),
+            )
+        )
+        engine.process("sshd", failed_login(), result)
+        assert calls == [("restart", failed_login())]
+        assert engine.notifications == []
+
+
+class TestRateLimit:
+    def test_storm_throttled(self, routed):
+        result, pid = routed(failed_login())
+        engine = ActionEngine()
+        engine.add_rule(
+            ActionRule(name="page", pattern_id=pid, max_per_window=3, window=1000)
+        )
+        for _ in range(50):
+            engine.process("sshd", failed_login(), result)
+        assert engine.counters["page"] == 3
+
+    def test_window_slides(self, routed):
+        result, pid = routed(failed_login())
+        engine = ActionEngine()
+        engine.add_rule(
+            ActionRule(name="page", pattern_id=pid, max_per_window=1, window=10)
+        )
+        engine.process("sshd", failed_login(), result)
+        for _ in range(20):  # advance the clock past the window
+            engine.process("sshd", "no match", type(result)(matched=False))
+        engine.process("sshd", failed_login(), result)
+        assert engine.counters["page"] == 2
+
+
+class TestValidation:
+    def test_duplicate_rule_name_rejected(self):
+        engine = ActionEngine()
+        engine.add_rule(ActionRule(name="x"))
+        with pytest.raises(ValueError):
+            engine.add_rule(ActionRule(name="x"))

@@ -1,0 +1,106 @@
+"""Volume/novelty anomaly detection (§VI future work) with fault injection."""
+
+import random
+
+import pytest
+
+from repro.workflow.anomaly import (
+    AnomalyConfig,
+    NoveltyAnomalyDetector,
+    VolumeAnomalyDetector,
+)
+
+
+def feed_steady(detector, service="sshd", n=20, base=100.0, jitter=5.0, seed=1):
+    rng = random.Random(seed)
+    alerts = []
+    for bucket in range(n):
+        a = detector.observe(service, bucket, base + rng.uniform(-jitter, jitter))
+        if a:
+            alerts.append(a)
+    return alerts
+
+
+class TestVolumeDetector:
+    def test_steady_traffic_never_alerts(self):
+        detector = VolumeAnomalyDetector()
+        assert feed_steady(detector) == []
+
+    def test_spike_detected(self):
+        detector = VolumeAnomalyDetector()
+        feed_steady(detector)
+        anomaly = detector.observe("sshd", 99, 100.0 * 8)
+        assert anomaly is not None
+        assert anomaly.kind == "spike"
+        assert anomaly.zscore > 3
+
+    def test_drop_detected(self):
+        detector = VolumeAnomalyDetector()
+        feed_steady(detector)
+        anomaly = detector.observe("sshd", 99, 1.0)
+        assert anomaly is not None and anomaly.kind == "drop"
+
+    def test_no_alerts_before_min_history(self):
+        detector = VolumeAnomalyDetector(AnomalyConfig(min_history=10))
+        for bucket in range(9):
+            assert detector.observe("svc", bucket, 100.0 if bucket < 8 else 9999.0) is None or bucket >= 9
+
+    def test_routine_growth_absorbed(self):
+        """Slow load growth is 'routine extra load', not an anomaly."""
+        detector = VolumeAnomalyDetector()
+        alerts = []
+        level = 100.0
+        for bucket in range(40):
+            level *= 1.02  # +2% per bucket
+            a = detector.observe("web", bucket, level)
+            if a:
+                alerts.append(a)
+        assert alerts == []
+
+    def test_sustained_incident_keeps_alerting(self):
+        detector = VolumeAnomalyDetector()
+        feed_steady(detector)
+        first = detector.observe("sshd", 50, 900.0)
+        second = detector.observe("sshd", 51, 900.0)
+        assert first is not None and second is not None
+
+    def test_services_independent(self):
+        detector = VolumeAnomalyDetector()
+        feed_steady(detector, service="a")
+        assert detector.observe("b", 0, 100000.0) is None  # no history for b
+
+    def test_observe_bucket_collects(self):
+        detector = VolumeAnomalyDetector()
+        feed_steady(detector, service="a")
+        feed_steady(detector, service="b", base=50.0)
+        alerts = detector.observe_bucket(99, {"a": 100.0, "b": 5000.0})
+        assert [x.service for x in alerts] == ["b"]
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"window": 1}, {"ewma_alpha": 0.0}, {"min_history": 1}]
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AnomalyConfig(**kwargs)
+
+
+class TestNoveltyDetector:
+    def test_new_pattern_burst_detected(self):
+        detector = NoveltyAnomalyDetector()
+        rng = random.Random(0)
+        pool = [f"p{i}" for i in range(40)]
+        for bucket in range(15):
+            # steady trickle: a couple of fresh patterns per bucket
+            ids = rng.sample(pool, 10) + [f"new-{bucket}-{j}" for j in range(2)]
+            assert detector.observe_bucket(bucket, ids) is None
+        burst = [f"burst-{j}" for j in range(60)]
+        anomaly = detector.observe_bucket(99, burst)
+        assert anomaly is not None
+        assert anomaly.kind == "novelty"
+
+    def test_repeats_are_not_novel(self):
+        detector = NoveltyAnomalyDetector()
+        for bucket in range(12):
+            detector.observe_bucket(bucket, ["a", "b", "c"])
+        # the same ids again: zero fresh patterns, consistent with history
+        assert detector.observe_bucket(99, ["a", "b", "c"] * 10) is None

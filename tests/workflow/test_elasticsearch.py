@@ -1,0 +1,44 @@
+"""Elasticsearch simulacrum."""
+
+from repro.workflow.elasticsearch import SimulatedElasticsearch
+
+
+class TestIndexing:
+    def test_index_and_count(self):
+        es = SimulatedElasticsearch()
+        es.index("logs-001", {"service": "sshd", "matched": True})
+        es.index("logs-001", {"service": "httpd", "matched": False})
+        es.index("logs-002", {"service": "sshd", "matched": True})
+        assert es.count("logs-001") == 2
+        assert es.count("logs-002") == 1
+        assert es.count("missing") == 0
+        assert es.total_documents() == 3
+        assert es.indices() == ["logs-001", "logs-002"]
+
+    def test_documents_copied(self):
+        es = SimulatedElasticsearch()
+        doc = {"a": 1}
+        es.index("i", doc)
+        doc["a"] = 2
+        assert es.search("i")[0]["a"] == 1
+
+
+class TestSearch:
+    def test_term_filter(self):
+        es = SimulatedElasticsearch()
+        for i in range(5):
+            es.index("i", {"svc": "a" if i % 2 else "b", "n": i})
+        hits = es.search("i", term={"svc": "a"}, size=10)
+        assert len(hits) == 2
+
+    def test_size_limit(self):
+        es = SimulatedElasticsearch()
+        for i in range(20):
+            es.index("i", {"n": i})
+        assert len(es.search("i", size=7)) == 7
+
+    def test_aggregate_terms(self):
+        es = SimulatedElasticsearch()
+        for svc in ("a", "a", "b"):
+            es.index("i", {"svc": svc})
+        assert es.aggregate_terms("i", "svc") == {"a": 2, "b": 1}
