@@ -1,0 +1,55 @@
+"""Quick throughput smoke gate for CI.
+
+Measures steady-state scan+parse routing throughput (the cost every
+message pays in the paper's production deployment) on a realistic
+duplicate-carrying stream and exits non-zero if it drops below the
+paper's sustained requirement of 100M messages/day ≈ 1,160 msgs/s.
+
+Deliberately small (a few seconds end to end) — this is a regression
+tripwire, not a benchmark.  Run the full suite with
+``pytest benchmarks/`` for real numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_throughput.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.patterndb import PatternDB
+from repro.core.pipeline import SequenceRTG
+from repro.workflow.stream import ProductionStream, StreamConfig
+
+PAPER_RATE_PER_SECOND = 100_000_000 / 86_400
+
+
+def main() -> int:
+    stream = ProductionStream(
+        StreamConfig(n_services=40, seed=41, duplicate_fraction=0.5)
+    )
+    rtg = SequenceRTG(db=PatternDB())
+    rtg.analyze_by_service(list(stream.records(4_000)))  # learn the stream
+
+    routed = 0
+    seconds = 0.0
+    for _ in range(3):
+        result = rtg.analyze_by_service(list(stream.records(2_000)))
+        routed += result.n_records
+        seconds += result.timings.get("scan", 0.0) + result.timings.get(
+            "parse", 0.0
+        )
+    per_second = routed / seconds
+
+    ok = per_second > PAPER_RATE_PER_SECOND
+    print(
+        f"scan+parse: {per_second:,.0f} msgs/s "
+        f"(gate: {PAPER_RATE_PER_SECOND:,.0f} msgs/s) — "
+        f"{'OK' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -128,11 +128,15 @@ class _BaseAnalyzer:
         self.last_trie_nodes = 0  # memory telemetry for the benchmarks
 
     # -- construction ---------------------------------------------------
-    def _build(self, messages: list[ScannedMessage]) -> AnalysisTrie:
+    def _build(
+        self,
+        messages: list[ScannedMessage],
+        counts: list[int] | None = None,
+    ) -> AnalysisTrie:
         trie = AnalysisTrie()
-        for msg in messages:
+        for i, msg in enumerate(messages):
             tokens = enrich_tokens(msg.tokens) if self.config.enrich else msg.tokens
-            trie.insert(msg, tokens)
+            trie.insert(msg, tokens, n=1 if counts is None else counts[i])
         return trie
 
     # -- merging helpers -------------------------------------------------
@@ -277,11 +281,20 @@ class Analyzer(_BaseAnalyzer):
     sibling merging can be a single linear scan per node.
     """
 
-    def analyze(self, messages: list[ScannedMessage]) -> list[Pattern]:
-        """Mine patterns from one partition of scanned messages."""
+    def analyze(
+        self,
+        messages: list[ScannedMessage],
+        counts: list[int] | None = None,
+    ) -> list[Pattern]:
+        """Mine patterns from one partition of scanned messages.
+
+        *counts* (parallel to *messages*) carries dedup multiplicities —
+        the fast lane hands each distinct message once plus how often it
+        occurred; omitted means every message counts once.
+        """
         if not messages:
             return []
-        trie = self._build(messages)
+        trie = self._build(messages, counts)
         # memory telemetry: the peak footprint is the trie *before*
         # merging collapses siblings (what the paper's batch-size
         # discussion is about)

@@ -113,10 +113,17 @@ class AnalysisTrie:
         self.root = TrieNode()
         self.n_messages = 0
 
-    def insert(self, message: ScannedMessage, tokens: list[Token]) -> None:
-        """Insert one scanned (and enriched) message."""
+    def insert(self, message: ScannedMessage, tokens: list[Token], n: int = 1) -> None:
+        """Insert one scanned (and enriched) message, counted *n* times.
+
+        Weighted insertion is the dedup fast lane's contract: inserting a
+        message once with ``n=k`` produces the same trie — node counts,
+        observed values, child order, examples — as inserting it ``k``
+        times, because duplicates add no new edges and all bookkeeping is
+        additive.
+        """
         node = self.root
-        node.count += 1
+        node.count += n
         for tok in tokens:
             key = token_key(tok)
             child = node.children.get(key)
@@ -126,17 +133,17 @@ class AnalysisTrie:
                     child.var = var_class_for(tok.type)
                     child.semantic = tok.semantic
                 node.children[key] = child
-            child.count += 1
-            child.observe(tok.text)
+            child.count += n
+            child.observe(tok.text, n)
             node = child
         end = node.children.get(END_KEY)
         if end is None:
             end = TrieNode()
             node.children[END_KEY] = end
-        end.count += 1
+        end.count += n
         if message.original not in end.examples and len(end.examples) < 3:
             end.examples.append(message.original)
-        self.n_messages += 1
+        self.n_messages += n
 
     def node_count(self) -> int:
         return self.root.node_count()

@@ -17,6 +17,7 @@ production-ready tool described in §III of the paper:
 """
 
 from repro.core.config import RTGConfig
+from repro.core.fastpath import FastPath, LRUCache
 from repro.core.ingest import StreamIngester, parse_record
 from repro.core.parallel import ParallelSequenceRTG
 from repro.core.patterndb import PatternDB, PatternRow
@@ -25,6 +26,8 @@ from repro.core.records import LogRecord
 
 __all__ = [
     "RTGConfig",
+    "FastPath",
+    "LRUCache",
     "StreamIngester",
     "parse_record",
     "PatternDB",

@@ -32,6 +32,16 @@ class RTGConfig:
     export_min_count: int = 1
     #: ... with complexity at most this are exported for review
     export_max_complexity: float = 1.0
+    #: duplicate-aware fast lane (batch dedup + scan/match caching); off
+    #: reproduces the naive per-occurrence hot path — the equivalence
+    #: tests assert both lanes mine byte-identical results
+    enable_fastpath: bool = True
+    #: entries kept in the cross-batch ``(service, message)`` scan cache
+    #: (0 disables the cache; batch dedup still applies)
+    scan_cache_size: int = 8192
+    #: entries kept per service in the token-signature match cache
+    #: (0 disables the cache; batch dedup still applies)
+    match_cache_size: int = 8192
     scanner: ScannerConfig = field(default_factory=ScannerConfig)
     analyzer: AnalyzerConfig = field(default_factory=AnalyzerConfig)
 
@@ -46,4 +56,12 @@ class RTGConfig:
             raise ValueError(
                 "export_max_complexity must be within [0, 1], got "
                 f"{self.export_max_complexity}"
+            )
+        if self.scan_cache_size < 0:
+            raise ValueError(
+                f"scan_cache_size must be >= 0, got {self.scan_cache_size}"
+            )
+        if self.match_cache_size < 0:
+            raise ValueError(
+                f"match_cache_size must be >= 0, got {self.match_cache_size}"
             )

@@ -68,6 +68,7 @@ class _ShardOutcome:
     new_patterns: list[dict]
     match_counts: dict[str, int]
     match_examples: dict[str, list[str]]
+    cache: dict[str, int]
 
 
 def _analyze_shard(task: _ShardTask) -> _ShardOutcome:
@@ -75,29 +76,26 @@ def _analyze_shard(task: _ShardTask) -> _ShardOutcome:
     from repro.analyzer.pattern import Pattern
 
     rtg = SequenceRTG(db=PatternDB(), config=task.config)
+    known_support: dict[str, int] = {}
     for pattern_dict in task.known_patterns:
         pattern = Pattern.from_dict(pattern_dict)
         rtg.db.upsert(pattern)
-    rtg.invalidate_parsers()
-    known_ids = {row.id for row in rtg.db.rows()}
+        known_support[pattern.id] = pattern.support
 
     result = rtg.analyze_by_service(task.records)
 
+    # one pass over the shard database: rows not previously known are new
+    # patterns, known rows whose count grew report the delta as matches
     match_counts: dict[str, int] = {}
     match_examples: dict[str, list[str]] = {}
     new_patterns: list[dict] = []
     for row in rtg.db.rows():
-        if row.id in known_ids:
-            # previously known: report the delta as matches
-            continue
-        new_patterns.append(row.to_pattern().to_dict())
-    # matches against known patterns: read back the count deltas
-    for pattern_dict in task.known_patterns:
-        pattern = Pattern.from_dict(pattern_dict)
-        for row in rtg.db.rows(service=pattern.service):
-            if row.id == pattern.id and row.match_count > pattern.support:
-                match_counts[row.id] = row.match_count - pattern.support
-                match_examples[row.id] = row.examples
+        support = known_support.get(row.id)
+        if support is None:
+            new_patterns.append(row.to_pattern().to_dict())
+        elif row.match_count > support:
+            match_counts[row.id] = row.match_count - support
+            match_examples[row.id] = row.examples
     return _ShardOutcome(
         n_matched=result.n_matched,
         n_unmatched=result.n_unmatched,
@@ -107,6 +105,7 @@ def _analyze_shard(task: _ShardTask) -> _ShardOutcome:
         new_patterns=new_patterns,
         match_counts=match_counts,
         match_examples=match_examples,
+        cache=result.cache,
     )
 
 
@@ -127,6 +126,10 @@ class ParallelSequenceRTG:
         self.config = config or RTGConfig()
         self.db = db or PatternDB(max_examples=self.config.max_examples)
         self.n_workers = n_workers or max(1, multiprocessing.cpu_count() - 1)
+        # persistent in-process instance over the shared database: runs
+        # single-shard batches directly (parser and fast-lane caches stay
+        # warm across batches) and absorbs pool-merged patterns in place
+        self._local = SequenceRTG(db=self.db, config=self.config)
 
     # ------------------------------------------------------------------
     def _known_for(self, services: set[str]) -> list[dict]:
@@ -141,6 +144,12 @@ class ParallelSequenceRTG:
         from repro.analyzer.pattern import Pattern
 
         shards = [s for s in shard_records(records, self.n_workers) if s]
+        if len(shards) <= 1:
+            # degenerate case: run in-process on the shared database via
+            # the persistent instance — no shipping patterns to a worker,
+            # no rebuilding parsers from scratch, warm caches throughout
+            return self._local.analyze_by_service(records)
+
         tasks = [
             _ShardTask(
                 records=shard,
@@ -149,12 +158,8 @@ class ParallelSequenceRTG:
             )
             for shard in shards
         ]
-
-        if len(tasks) <= 1:
-            outcomes = [_analyze_shard(t) for t in tasks]
-        else:
-            with multiprocessing.Pool(processes=len(tasks)) as pool:
-                outcomes = pool.map(_analyze_shard, tasks)
+        with multiprocessing.Pool(processes=len(tasks)) as pool:
+            outcomes = pool.map(_analyze_shard, tasks)
 
         result = BatchResult(n_records=len(records))
         result.n_services = len({r.service for r in records})
@@ -164,9 +169,13 @@ class ParallelSequenceRTG:
             result.n_partitions += outcome.n_partitions
             result.n_below_threshold += outcome.n_below_threshold
             result.max_trie_nodes = max(result.max_trie_nodes, outcome.max_trie_nodes)
+            for key, value in outcome.cache.items():
+                result.cache[key] = result.cache.get(key, 0) + value
             for pattern_dict in outcome.new_patterns:
                 pattern = Pattern.from_dict(pattern_dict)
-                self.db.upsert(pattern)
+                # upsert + in-place parser extension: the local instance
+                # keeps serving without rebuilding its parsers
+                self._local.add_known_pattern(pattern)
                 result.n_new_patterns += 1
                 result.new_patterns.append(pattern)
             for pid, n in outcome.match_counts.items():

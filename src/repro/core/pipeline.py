@@ -28,6 +28,7 @@ from datetime import datetime
 from repro.analyzer.analyzer import Analyzer, LegacyAnalyzer
 from repro.analyzer.pattern import Pattern
 from repro.core.config import RTGConfig
+from repro.core.fastpath import FastPath
 from repro.core.patterndb import PatternDB
 from repro.core.records import LogRecord
 from repro.parser.parser import Parser
@@ -50,6 +51,10 @@ class BatchResult:
     n_below_threshold: int = 0  # discovered but under the save threshold
     max_trie_nodes: int = 0  # memory telemetry (largest analysis trie)
     timings: dict[str, float] = field(default_factory=dict)
+    #: fast-lane effectiveness for this batch: scan/match cache hits,
+    #: misses and evictions plus dedup savings (empty when the fast lane
+    #: is disabled) — see :meth:`repro.core.fastpath.FastPath.snapshot`
+    cache: dict[str, int] = field(default_factory=dict)
     new_patterns: list[Pattern] = field(default_factory=list)
 
     @property
@@ -73,6 +78,9 @@ class SequenceRTG:
         self.db = db or PatternDB(max_examples=self.config.max_examples)
         self.scanner = Scanner(self.config.scanner)
         self._parsers: dict[str, Parser] = {}
+        self.fastpath = FastPath(
+            self.config.scan_cache_size, self.config.match_cache_size
+        )
 
     # ------------------------------------------------------------------
     def parser_for(self, service: str) -> Parser:
@@ -84,16 +92,50 @@ class SequenceRTG:
         return parser
 
     def invalidate_parsers(self) -> None:
-        """Drop the parser cache (after external DB mutation)."""
-        self._parsers.clear()
+        """Drop every cached parser (after external DB mutation)."""
+        for service in list(self._parsers):
+            self.invalidate_service(service)
+
+    def invalidate_service(self, service: str) -> None:
+        """Drop one service's parser and match cache (after that
+        service's patterns were mutated outside this instance)."""
+        self._parsers.pop(service, None)
+        self.fastpath.invalidate_service(service)
+
+    def add_known_pattern(self, pattern: Pattern, now: datetime | None = None) -> str:
+        """Persist *pattern* and extend the service's parser in place.
+
+        The incremental alternative to mutating the DB externally and
+        calling :meth:`invalidate_service`: the cached parser (if any)
+        learns the pattern without a from-scratch rebuild, and its
+        version bump invalidates the service's match cache lazily.
+        Returns the pattern id.
+        """
+        pid = self.db.upsert(pattern, now=now)
+        parser = self._parsers.get(pattern.service)
+        if parser is not None:
+            parser.add_pattern(pattern)
+        return pid
 
     # ------------------------------------------------------------------
     def analyze_by_service(
         self, records: list[LogRecord], now: datetime | None = None
     ) -> BatchResult:
-        """Run the Fig. 2 workflow over one batch of records."""
+        """Run the Fig. 2 workflow over one batch of records.
+
+        With ``RTGConfig.enable_fastpath`` (the default) the scan→parse
+        stages run through the duplicate-aware fast lane: identical
+        messages are scanned and parsed once per batch (and cached
+        across batches), with multiplicities folded into match counts
+        and — via weighted trie insertion — into pattern support.  The
+        mined output is identical either way; ``result.cache`` reports
+        the lane's effectiveness.
+        """
         result = BatchResult(n_records=len(records))
         timer = StageTimer()
+        lane = self.fastpath if self.config.enable_fastpath else None
+        cache_before = lane.snapshot() if lane is not None else None
+        example_cap = self.db.max_examples
 
         # 1. first partitioning: group by service
         with timer.stage("partition_service"):
@@ -104,48 +146,78 @@ class SequenceRTG:
 
         analyzer = Analyzer(self.config.analyzer)
         for service, group in by_service.items():
-            # 2. scan
+            # 2. scan (deduplicated: one scan per distinct message)
             with timer.stage("scan"):
-                scanned = [
-                    self.scanner.scan(r.message, service=service) for r in group
-                ]
+                if lane is not None:
+                    scanned, counts, from_cache = lane.scan_group(
+                        self.scanner, service, group
+                    )
+                else:
+                    scanned = [
+                        self.scanner.scan(r.message, service=service) for r in group
+                    ]
+                    counts = None
+                    from_cache = None
 
             # 3. parse against already known patterns
             parser = self.parser_for(service)
             unmatched: list[ScannedMessage] = []
+            unmatched_counts: list[int] = []
             with timer.stage("parse"):
                 match_counts: dict[str, int] = {}
                 match_examples: dict[str, list[str]] = {}
-                for msg in scanned:
-                    if len(parser) == 0:
-                        unmatched.append(msg)
-                        continue
-                    hit = parser.match(msg)
+                have_patterns = len(parser) > 0
+                for i, msg in enumerate(scanned):
+                    n = 1 if counts is None else counts[i]
+                    if have_patterns:
+                        # the match cache is only worth its signature
+                        # cost for messages that recur across batches —
+                        # exactly the ones the scan cache already served
+                        hit = (
+                            lane.match(service, parser, msg)
+                            if from_cache is not None and from_cache[i]
+                            else parser.match(msg)
+                        )
+                    else:
+                        hit = None
                     if hit is None:
                         unmatched.append(msg)
+                        unmatched_counts.append(n)
                     else:
                         pid = hit.pattern.id
-                        match_counts[pid] = match_counts.get(pid, 0) + 1
-                        match_examples.setdefault(pid, []).append(msg.original)
+                        match_counts[pid] = match_counts.get(pid, 0) + n
+                        examples = match_examples.setdefault(pid, [])
+                        # accumulate only what the DB can store: the
+                        # first `max_examples` distinct originals
+                        if (
+                            len(examples) < example_cap
+                            and msg.original not in examples
+                        ):
+                            examples.append(msg.original)
             with timer.stage("db_update"):
                 for pid, n in match_counts.items():
                     self.db.record_match(pid, n=n, now=now)
-                    for example in match_examples[pid][:2]:
+                    for example in match_examples[pid]:
                         self.db.add_example(pid, example)
             result.n_matched += sum(match_counts.values())
-            result.n_unmatched += len(unmatched)
+            result.n_unmatched += sum(unmatched_counts)
 
             # 4. second partitioning: group unmatched by token count
             with timer.stage("partition_length"):
-                by_length: dict[int, list[ScannedMessage]] = {}
-                for msg in unmatched:
-                    by_length.setdefault(msg.token_count(), []).append(msg)
+                by_length: dict[int, tuple[list[ScannedMessage], list[int]]] = {}
+                for msg, n in zip(unmatched, unmatched_counts):
+                    msgs, ns = by_length.setdefault(msg.token_count(), ([], []))
+                    msgs.append(msg)
+                    ns.append(n)
             result.n_partitions += len(by_length)
 
             # 5. analyse each partition in its own trie
-            for _, partition in sorted(by_length.items()):
+            for _, (partition, partition_counts) in sorted(by_length.items()):
                 with timer.stage("analyze"):
-                    patterns = analyzer.analyze(partition)
+                    patterns = analyzer.analyze(
+                        partition,
+                        counts=None if counts is None else partition_counts,
+                    )
                 result.max_trie_nodes = max(
                     result.max_trie_nodes, analyzer.last_trie_nodes
                 )
@@ -157,11 +229,16 @@ class SequenceRTG:
                             result.n_below_threshold += 1
                             continue
                         self.db.upsert(pattern, now=now)
+                        # in-place extension; the parser's version bump
+                        # invalidates this service's match cache
                         parser.add_pattern(pattern)
                         result.n_new_patterns += 1
                         result.new_patterns.append(pattern)
 
         result.timings = timer.report()
+        if lane is not None:
+            after = lane.snapshot()
+            result.cache = {k: after[k] - cache_before[k] for k in after}
         return result
 
     # ------------------------------------------------------------------

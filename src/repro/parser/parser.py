@@ -1,6 +1,6 @@
 """Parse-trie matcher.
 
-Patterns are loaded into a trie mirroring the analysis trie: literal
+Patterns are loaded into tries mirroring the analysis trie: literal
 edges keyed by text, variable edges keyed by variable class, and an END
 edge holding the pattern.  Matching a scanned message is a depth-first
 walk that prefers literal edges, with memoisation on (token index, node)
@@ -8,6 +8,20 @@ so messages matching many overlapping patterns stay linear in practice.
 When several patterns accept the message the one matching the most
 static tokens wins (ties broken by fewer variables), which keeps weakly
 patternised, high-complexity patterns from shadowing precise ones.
+
+Hot-path pruning: every non-REST pattern token consumes exactly one
+message token, so a pattern without an ignore-rest variable can only
+match messages of exactly its own token count.  The root is therefore
+indexed by token count — one sub-trie per pattern length, plus one
+shared sub-trie for ignore-rest patterns (which accept any sufficiently
+long message) — and a match starts its DFS from the small candidate
+frontier of the message's length bucket instead of the full pattern
+set.  Within a bucket the ``literals`` dict at each node is the
+first-literal index: the first token narrows the frontier in O(1).
+
+Each pattern-set mutation bumps :attr:`Parser.version`; the fast lane's
+match caches (:mod:`repro.core.fastpath`) use the version to invalidate
+cached outcomes whenever the pattern set changes.
 """
 
 from __future__ import annotations
@@ -90,9 +104,16 @@ class Parser:
     """Match scanned messages against a set of known patterns."""
 
     def __init__(self, patterns: list[Pattern] | None = None, enrich: bool = True):
-        self._root = _Node()
+        #: one sub-trie per exact pattern token count
+        self._exact: dict[int, _Node] = {}
+        #: shared sub-trie for patterns containing an ignore-rest variable
+        self._rest_root = _Node()
+        self._n_rest = 0
         self._n_patterns = 0
         self._enrich = enrich
+        #: bumped on every pattern-set mutation; match caches key their
+        #: validity on this
+        self.version = 0
         for p in patterns or ():
             self.add_pattern(p)
 
@@ -101,8 +122,15 @@ class Parser:
 
     # ------------------------------------------------------------------
     def add_pattern(self, pattern: Pattern) -> None:
-        """Insert one pattern into the parse trie (idempotent per text)."""
-        node = self._root
+        """Insert one pattern into its parse trie (idempotent per text)."""
+        has_rest = any(
+            tok.is_variable and tok.var_class is VarClass.REST
+            for tok in pattern.tokens
+        )
+        if has_rest:
+            node = self._rest_root
+        else:
+            node = self._exact.setdefault(len(pattern.tokens), _Node())
         for tok in pattern.tokens:
             if not tok.is_variable:
                 node = node.literals.setdefault(tok.text, _Node())
@@ -117,21 +145,49 @@ class Parser:
                     node = child
         if node.pattern is None:
             self._n_patterns += 1
+            if has_rest:
+                self._n_rest += 1
         node.pattern = pattern
+        self.version += 1
 
     # ------------------------------------------------------------------
-    def match(self, scanned: ScannedMessage) -> MatchResult | None:
-        """Find the best pattern for *scanned*, or None."""
-        tokens = (
-            enrich_tokens(scanned.tokens) if self._enrich else list(scanned.tokens)
-        )
+    def match(
+        self, scanned: ScannedMessage, tokens: list[Token] | None = None
+    ) -> MatchResult | None:
+        """Find the best pattern for *scanned*, or None.
+
+        Pass pre-enriched *tokens* to skip the enrichment pass (the fast
+        lane does when it already enriched the same scan).
+        """
+        if tokens is None:
+            # no defensive copy: matching never mutates the token list
+            tokens = (
+                enrich_tokens(scanned.tokens) if self._enrich else scanned.tokens
+            )
         # the scanner's REST marker only says "this message was truncated";
         # matching treats it like end-of-message
         if tokens and tokens[-1].type is TokenType.REST:
             tokens = tokens[:-1]
         best: _Candidate | None = None
+        exact = self._exact.get(len(tokens))
+        if exact is not None:
+            best = self._search(exact, tokens, best)
+        if self._n_rest:
+            best = self._search(self._rest_root, tokens, best)
+        if best is None:
+            return None
+        return MatchResult(
+            pattern=best.pattern,
+            fields=best.fields,
+            static_matches=best.static_matches,
+        )
+
+    def _search(
+        self, root: _Node, tokens: list[Token], best: _Candidate | None
+    ) -> _Candidate | None:
+        """DFS one sub-trie, folding candidates into *best*."""
         seen: set[tuple[int, int]] = set()
-        stack: list[tuple[int, _Node, int, tuple]] = [(0, self._root, 0, ())]
+        stack: list[tuple[int, _Node, int, tuple]] = [(0, root, 0, ())]
         while stack:
             idx, node, static, bindings = stack.pop()
             key = (idx, id(node))
@@ -170,13 +226,7 @@ class Parser:
                     stack.append(
                         (idx + 1, child, static, bindings + ((name, tok.text),))
                     )
-        if best is None:
-            return None
-        return MatchResult(
-            pattern=best.pattern,
-            fields=best.fields,
-            static_matches=best.static_matches,
-        )
+        return best
 
     @staticmethod
     def _better(

@@ -70,10 +70,20 @@ class DayStats:
     batch_fill_minutes: float
     n_promoted: int
     patterndb_size: int
+    #: fast-lane effectiveness summed over the day's mining batches
+    #: (scan/match cache hits, misses, evictions, dedup savings)
+    cache: dict[str, int] = field(default_factory=dict)
 
     @property
     def unmatched_fraction(self) -> float:
         return self.n_unmatched / self.n_messages if self.n_messages else 0.0
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        """Fraction of scan lookups served from dedup or the scan cache."""
+        hits = self.cache.get("scan_hits", 0) + self.cache.get("dedup_duplicates", 0)
+        total = hits + self.cache.get("scan_misses", 0)
+        return hits / total if total else 0.0
 
 
 class ProductionSimulation:
@@ -126,6 +136,7 @@ class ProductionSimulation:
         n_matched = 0
         n_batches = 0
         analysis_seconds = 0.0
+        cache_totals: dict[str, int] = {}
         index = f"logs-{day:03d}"
         for record in self.stream.records(n_messages):
             routed = self.syslog.route(record)
@@ -148,14 +159,18 @@ class ProductionSimulation:
             batch.append(record)
             if len(batch) >= self.config.batch_size:
                 start = time.perf_counter()
-                self.rtg.analyze_by_service(batch)
+                batch_result = self.rtg.analyze_by_service(batch)
                 analysis_seconds += time.perf_counter() - start
+                for key, value in batch_result.cache.items():
+                    cache_totals[key] = cache_totals.get(key, 0) + value
                 n_batches += 1
                 batch = []
         if batch:
             start = time.perf_counter()
-            self.rtg.analyze_by_service(batch)
+            batch_result = self.rtg.analyze_by_service(batch)
             analysis_seconds += time.perf_counter() - start
+            for key, value in batch_result.cache.items():
+                cache_totals[key] = cache_totals.get(key, 0) + value
             n_batches += 1
 
         n_promoted = 0
@@ -175,6 +190,7 @@ class ProductionSimulation:
             batch_fill_minutes=_MINUTES_PER_DAY / max(1, n_batches),
             n_promoted=n_promoted,
             patterndb_size=self.syslog.n_patterns,
+            cache=cache_totals,
         )
 
     def _review(self) -> int:

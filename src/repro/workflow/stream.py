@@ -12,6 +12,7 @@ hardware, new events can appear", paper §I).
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
 from collections.abc import Iterator
 
@@ -56,7 +57,26 @@ class StreamConfig:
     template_zipf: float = 1.3
     #: fraction of daily volume drawn from templates first seen that day
     churn_fraction: float = 0.0
+    #: probability that a drawn record is an exact repeat of a recently
+    #: emitted one — models the heavy short-range redundancy of real log
+    #: streams (retry storms, heartbeats, chatty components) that the
+    #: duplicate-aware fast lane exploits.  0 keeps every record freshly
+    #: filled (the historical behaviour, bit-for-bit).
+    duplicate_fraction: float = 0.0
+    #: how far back exact repeats may be drawn from
+    duplicate_window: int = 256
     seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.duplicate_fraction < 1.0):
+            raise ValueError(
+                "duplicate_fraction must be within [0, 1), got "
+                f"{self.duplicate_fraction}"
+            )
+        if self.duplicate_window <= 0:
+            raise ValueError(
+                f"duplicate_window must be positive, got {self.duplicate_window}"
+            )
 
 
 class _ServiceSpec:
@@ -74,6 +94,7 @@ class ProductionStream:
     def __init__(self, config: StreamConfig | None = None) -> None:
         self.config = config or StreamConfig()
         self._rng = random.Random(self.config.seed)
+        self._recent: deque[LogRecord] = deque(maxlen=self.config.duplicate_window)
         self._services: list[_ServiceSpec] = []
         for i in range(self.config.n_services):
             kind = _SERVICE_KINDS[i % len(_SERVICE_KINDS)]
@@ -141,10 +162,27 @@ class ProductionStream:
         return " ".join(out)
 
     def record(self) -> LogRecord:
-        """Draw one record."""
+        """Draw one record.
+
+        With ``duplicate_fraction`` set, the draw first rolls for an
+        exact repeat of a recent record; default behaviour (fraction 0)
+        touches neither the RNG stream nor the replay buffer, so
+        existing seeded streams reproduce unchanged.
+        """
+        duplicate_fraction = self.config.duplicate_fraction
+        if (
+            duplicate_fraction > 0.0
+            and self._recent
+            and self._rng.random() < duplicate_fraction
+        ):
+            replayed = self._recent[self._rng.randrange(len(self._recent))]
+            return LogRecord(service=replayed.service, message=replayed.message)
         spec = self._services[self._service_sampler.sample()]
         template = spec.templates[spec.sampler.sample()]
-        return LogRecord(service=spec.name, message=self._fill(template))
+        record = LogRecord(service=spec.name, message=self._fill(template))
+        if duplicate_fraction > 0.0:
+            self._recent.append(record)
+        return record
 
     def records(self, n: int) -> Iterator[LogRecord]:
         """Draw *n* records."""

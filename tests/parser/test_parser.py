@@ -139,3 +139,69 @@ class TestMisc:
         )
         assert match(parser, "job 9 started").pattern.text.endswith("started")
         assert match(parser, "job 9 done").pattern.text.endswith("done")
+
+
+class TestLengthBuckets:
+    """Root pruning: patterns are bucketed by token count, so a match only
+    ever walks candidates of the message's own length (plus ignore-rest
+    patterns, which accept any sufficiently long message)."""
+
+    def test_patterns_of_many_lengths_coexist(self):
+        parser = Parser(
+            [
+                pattern_from("up"),
+                pattern_from("count %integer%"),
+                pattern_from("count %integer% of %integer%"),
+            ]
+        )
+        assert match(parser, "up").pattern.text == "up"
+        assert match(parser, "count 3").pattern.text == "count %integer%"
+        assert match(parser, "count 3 of 9") is not None
+        assert match(parser, "count 3 of") is None
+
+    def test_rest_pattern_spans_length_buckets(self):
+        parser = Parser(
+            [pattern_from("count %integer%"), pattern_from("panic %ignorerest%")]
+        )
+        assert match(parser, "panic") is not None
+        assert match(parser, "panic at the disco tonight 22:00") is not None
+        assert match(parser, "count 7").pattern.text == "count %integer%"
+
+    def test_rest_and_exact_compete_on_static_tokens(self):
+        parser = Parser(
+            [pattern_from("job %integer% done"), pattern_from("job %ignorerest%")]
+        )
+        # the exact pattern matches more static tokens and must win even
+        # though both sub-tries accept the message
+        assert match(parser, "job 5 done").pattern.text == "job %integer% done"
+
+    def test_version_bumps_on_every_mutation(self):
+        parser = Parser()
+        assert parser.version == 0
+        parser.add_pattern(pattern_from("a %integer%"))
+        parser.add_pattern(pattern_from("b %integer%"))
+        assert parser.version == 2
+
+
+class TestNoCopy:
+    def test_match_does_not_mutate_tokens_without_enrichment(self):
+        parser = Parser([pattern_from("evt %integer%")], enrich=False)
+        scanned = SC.scan("evt 7")
+        before = list(scanned.tokens)
+        assert parser.match(scanned) is not None
+        assert scanned.tokens == before
+
+    def test_rest_marker_sliced_only_when_present(self):
+        parser = Parser([pattern_from("evt %integer%")], enrich=False)
+        truncated = SC.scan("evt 7\ntail text")
+        assert truncated.tokens[-1].type.value == "rest"
+        assert parser.match(truncated) is not None
+        assert truncated.tokens[-1].type.value == "rest"  # untouched
+
+    def test_pre_enriched_tokens_accepted(self):
+        from repro.analyzer.enrich import enrich_tokens
+
+        parser = Parser([pattern_from("mail from %email%")])
+        scanned = SC.scan("mail from ops@example.com")
+        hit = parser.match(scanned, tokens=enrich_tokens(scanned.tokens))
+        assert hit is not None and hit.fields["email"] == "ops@example.com"
