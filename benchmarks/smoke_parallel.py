@@ -1,0 +1,86 @@
+"""Quick worker-pool smoke gate for CI.
+
+Runs a duplicate-heavy JSON-lines stream through the pipelined ingester
+into a 2-worker persistent pool and checks the two production promises:
+
+* the pooled database is bit-identical to a serial run over the same
+  stream (pattern ids, supports, match counts);
+* steady-state routing throughput summed across workers stays above the
+  paper's sustained requirement of 100M messages/day ≈ 1,160 msgs/s.
+
+Deliberately small (a few seconds end to end) — this is a regression
+tripwire, not a benchmark.  Run ``pytest benchmarks/`` for real numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_parallel.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.ingest import StreamIngester
+from repro.core.parallel import PersistentParallelSequenceRTG
+from repro.core.patterndb import PatternDB
+from repro.core.pipeline import SequenceRTG
+from repro.workflow.stream import ProductionStream, StreamConfig
+
+PAPER_RATE_PER_SECOND = 100_000_000 / 86_400
+
+N_MESSAGES = 8_000
+BATCH_SIZE = 1_000
+
+
+def _stream_lines():
+    stream = ProductionStream(
+        StreamConfig(n_services=40, seed=41, duplicate_fraction=0.5)
+    )
+    return list(stream.jsonl(N_MESSAGES))
+
+
+def _fingerprint(db):
+    return sorted(
+        (row.id, row.service, row.pattern_text, row.match_count)
+        for row in db.rows()
+    )
+
+
+def main() -> int:
+    lines = _stream_lines()
+
+    serial = SequenceRTG(db=PatternDB())
+    for batch in StreamIngester(batch_size=BATCH_SIZE).batches(lines):
+        serial.analyze_by_service(batch)
+
+    routed = 0
+    seconds = 0.0
+    with PersistentParallelSequenceRTG(db=PatternDB(), n_workers=2) as engine:
+        ingester = StreamIngester(batch_size=BATCH_SIZE)
+        for i, result in enumerate(
+            engine.process_stream(ingester.batches_pipelined(lines, prefetch=2))
+        ):
+            if i >= 2:  # steady state: workers warm, patterns known
+                routed += result.n_records
+                # timings are summed across workers = total CPU seconds
+                seconds += result.timings.get("scan", 0.0) + result.timings.get(
+                    "parse", 0.0
+                )
+        identical = _fingerprint(engine.db) == _fingerprint(serial.db)
+        respawns = engine.telemetry["respawns"]
+
+    per_second = routed / seconds if seconds else 0.0
+    fast_enough = per_second > PAPER_RATE_PER_SECOND
+
+    print(
+        f"pool scan+parse: {per_second:,.0f} msgs/s "
+        f"(gate: {PAPER_RATE_PER_SECOND:,.0f} msgs/s) — "
+        f"{'OK' if fast_enough else 'FAIL'}"
+    )
+    print(f"serial equivalence: {'OK' if identical else 'FAIL'}")
+    print(f"worker respawns: {respawns}")
+    return 0 if (fast_enough and identical) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

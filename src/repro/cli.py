@@ -56,6 +56,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("input", nargs="?", default="-", help="input file ('-' for stdin)")
     serve.add_argument("--batch-size", type=int, default=100_000)
     serve.add_argument("--save-threshold", type=int, default=1)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="persistent worker processes for analysis "
+        "(1 = in-process serial; 0 = one per CPU minus one)",
+    )
+    serve.add_argument(
+        "--no-pipeline",
+        action="store_true",
+        help="disable background ingest prefetch (parse batches inline)",
+    )
 
     mine = sub.add_parser("mine", help="mine patterns from a plain log file")
     mine.add_argument("input", help="log file, one message per line")
@@ -133,14 +145,36 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         rtg = _make_rtg(args, args.batch_size)
+        if args.workers != 1:
+            # persistent pool over the same shared DB (the in-process
+            # instance is only used for its config/db wiring)
+            from repro.core.parallel import PersistentParallelSequenceRTG
+
+            miner = PersistentParallelSequenceRTG(
+                db=rtg.db,
+                config=rtg.config,
+                n_workers=args.workers or None,
+            )
+        else:
+            miner = rtg
         ingester = StreamIngester(batch_size=args.batch_size)
         with _open_input(args.input) as stream:
-            for result in rtg.process_stream(ingester.batches(stream)):
-                print(
-                    f"batch: {result.n_records} records, {result.n_services} services, "
-                    f"{result.n_matched} matched, {result.n_new_patterns} new patterns",
-                    file=sys.stderr,
+            if args.no_pipeline:
+                batches = ingester.batches(stream)
+            else:
+                batches = ingester.batches_pipelined(
+                    stream, prefetch=rtg.config.ingest_prefetch
                 )
+            try:
+                for result in miner.process_stream(batches):
+                    print(
+                        f"batch: {result.n_records} records, {result.n_services} services, "
+                        f"{result.n_matched} matched, {result.n_new_patterns} new patterns",
+                        file=sys.stderr,
+                    )
+            finally:
+                if miner is not rtg:
+                    miner.close()
         print(
             f"ingested {ingester.stats.n_records} records "
             f"({ingester.stats.n_malformed} malformed) in {ingester.stats.n_batches} batches",

@@ -17,9 +17,13 @@ production-ready tool described in §III of the paper:
 """
 
 from repro.core.config import RTGConfig
-from repro.core.fastpath import FastPath, LRUCache
+from repro.core.fastpath import FastPath, LRUCache, PatternJournal
 from repro.core.ingest import StreamIngester, parse_record
-from repro.core.parallel import ParallelSequenceRTG
+from repro.core.parallel import (
+    ParallelSequenceRTG,
+    PersistentParallelSequenceRTG,
+    route_service,
+)
 from repro.core.patterndb import PatternDB, PatternRow
 from repro.core.pipeline import BatchResult, SequenceRTG
 from repro.core.records import LogRecord
@@ -28,6 +32,7 @@ __all__ = [
     "RTGConfig",
     "FastPath",
     "LRUCache",
+    "PatternJournal",
     "StreamIngester",
     "parse_record",
     "PatternDB",
@@ -35,5 +40,7 @@ __all__ = [
     "BatchResult",
     "SequenceRTG",
     "ParallelSequenceRTG",
+    "PersistentParallelSequenceRTG",
+    "route_service",
     "LogRecord",
 ]

@@ -42,6 +42,13 @@ class RTGConfig:
     #: entries kept per service in the token-signature match cache
     #: (0 disables the cache; batch dedup still applies)
     match_cache_size: int = 8192
+    #: worker processes for the persistent parallel engine
+    #: (:class:`repro.core.parallel.PersistentParallelSequenceRTG`);
+    #: 0 means one per available CPU minus one for the parent
+    pool_workers: int = 0
+    #: batches the pipelined ingester's reader thread keeps ready ahead
+    #: of analysis (:meth:`repro.core.ingest.StreamIngester.batches_pipelined`)
+    ingest_prefetch: int = 2
     scanner: ScannerConfig = field(default_factory=ScannerConfig)
     analyzer: AnalyzerConfig = field(default_factory=AnalyzerConfig)
 
@@ -64,4 +71,12 @@ class RTGConfig:
         if self.match_cache_size < 0:
             raise ValueError(
                 f"match_cache_size must be >= 0, got {self.match_cache_size}"
+            )
+        if self.pool_workers < 0:
+            raise ValueError(
+                f"pool_workers must be >= 0, got {self.pool_workers}"
+            )
+        if self.ingest_prefetch < 1:
+            raise ValueError(
+                f"ingest_prefetch must be >= 1, got {self.ingest_prefetch}"
             )

@@ -10,17 +10,28 @@ or any iterator of strings), validates the two-field schema, counts and
 skips malformed items, and yields :class:`~repro.core.records.LogRecord`
 batches of the configured size.  The final, possibly short, batch is
 yielded on stream end unless ``drop_partial`` is set.
+
+:meth:`StreamIngester.batches_pipelined` is the double-buffered variant:
+a background reader thread parses and assembles batch *N+1* while the
+caller is still analysing batch *N*, so JSON decoding overlaps analysis
+instead of serialising with it.  Order is preserved (single reader,
+FIFO queue) and closing the generator early stops the reader cleanly.
 """
 
 from __future__ import annotations
 
 import json
+import queue
+import threading
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.core.records import LogRecord
 
 __all__ = ["StreamIngester", "parse_record", "IngestStats"]
+
+#: queue marker for normal end of stream
+_EOF = object()
 
 
 def parse_record(line: str) -> LogRecord | None:
@@ -86,6 +97,67 @@ class StreamIngester:
         if batch and not self.drop_partial:
             self.stats.n_batches += 1
             yield batch
+
+    def batches_pipelined(
+        self, lines: Iterable[str], prefetch: int = 2
+    ) -> Iterator[list[LogRecord]]:
+        """Yield batches with parsing pipelined ahead of the consumer.
+
+        A daemon reader thread runs :meth:`batches` and feeds a bounded
+        queue of *prefetch* ready batches; while the caller analyses one
+        batch, the reader is already JSON-decoding the next.  Batches
+        arrive in exactly the order :meth:`batches` would produce them.
+        Closing the generator early (or abandoning it) signals the
+        reader to stop; batches already yielded are unaffected and the
+        source iterable is not consumed further than the prefetch
+        window.  An exception raised by the source is re-raised here.
+        """
+        if prefetch < 1:
+            raise ValueError(f"prefetch must be >= 1, got {prefetch}")
+        ready: queue.Queue = queue.Queue(maxsize=prefetch)
+        stop = threading.Event()
+
+        def offer(item) -> None:
+            # a plain put() could block forever against a consumer that
+            # went away; poll the stop flag while waiting for space
+            while not stop.is_set():
+                try:
+                    ready.put(item, timeout=0.05)
+                    return
+                except queue.Full:
+                    continue
+
+        def read() -> None:
+            try:
+                for batch in self.batches(lines):
+                    offer(batch)
+                    if stop.is_set():
+                        return
+                offer(_EOF)
+            except BaseException as exc:  # forwarded to the consumer
+                offer(exc)
+
+        reader = threading.Thread(
+            target=read, name="ingest-pipeline", daemon=True
+        )
+        reader.start()
+        try:
+            while True:
+                item = ready.get()
+                if item is _EOF:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+        finally:
+            stop.set()
+            # unblock a reader waiting on a full queue, then let it exit
+            while True:
+                try:
+                    ready.get_nowait()
+                except queue.Empty:
+                    break
+            reader.join(timeout=5.0)
 
     def batches_from_records(
         self, records: Iterable[LogRecord]

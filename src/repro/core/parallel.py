@@ -7,28 +7,63 @@ AnalyzeByService method.  In this case each instance could have its own
 database as there is no crossover with patterns between different
 services." (paper §IV)
 
-:class:`ParallelSequenceRTG` implements exactly that sharding with a
-process pool: services are hashed into ``n_workers`` groups, each worker
-runs a private Sequence-RTG instance (own scanner, own in-memory
-database) seeded with the already-known patterns of its services, and
-the parent merges the returned patterns and match statistics into the
-shared database.  Because pattern ids are content-derived SHA1s, the
-merged result is *identical* to a serial run over the same batch —
-a property the test suite asserts.
+Two implementations of that sharding live here:
+
+* :class:`PersistentParallelSequenceRTG` — the production engine.  A
+  pool of long-lived worker processes, each owning a private
+  :class:`~repro.core.pipeline.SequenceRTG` (own in-memory pattern
+  database, warm fast-lane caches, incrementally extended parsers) for a
+  *sticky* set of services: ``crc32(service) % n_workers`` never changes
+  between batches, so a worker keeps serving the same services for the
+  lifetime of the pool.  Per batch the parent ships a worker only its
+  shard's records plus the patterns that are *new to it* since its last
+  sync — tracked with a monotone cursor into a
+  :class:`~repro.core.fastpath.PatternJournal` — never the full known
+  set.  A worker that dies is respawned and its service patterns are
+  replayed from the shared database, which by construction holds
+  everything the dead worker had ever reported.
+
+* :class:`ParallelSequenceRTG` — the original per-batch pool, retained
+  as the cold baseline the benchmarks compare against: every batch pays
+  process spawn, a full re-ship of all known patterns of the shard's
+  services, a from-scratch parser rebuild and stone-cold caches.
+
+Because pattern ids are content-derived SHA1s and sharding is
+service-disjoint, the merged result of either front end is *identical*
+to a serial run over the same batches — pattern ids, supports, match
+counts and stored examples — a property the test suite asserts for
+multi-batch runs and for runs with induced worker crashes.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.config import RTGConfig
+from repro.core.fastpath import PatternJournal
 from repro.core.patterndb import PatternDB
 from repro.core.pipeline import BatchResult, SequenceRTG
 from repro.core.records import LogRecord
 
-__all__ = ["ParallelSequenceRTG", "shard_records"]
+__all__ = [
+    "ParallelSequenceRTG",
+    "PersistentParallelSequenceRTG",
+    "shard_records",
+    "route_service",
+]
+
+
+def route_service(service: str, n_shards: int) -> int:
+    """Sticky shard index of *service* for an *n_shards*-way pool.
+
+    crc32 rather than hash(): stable across interpreter runs and worker
+    respawns, so a service is owned by the same shard for the lifetime
+    of a deployment (and a re-executed one shards identically).
+    """
+    return zlib.crc32(service.encode()) % n_shards
 
 
 def shard_records(
@@ -36,22 +71,20 @@ def shard_records(
 ) -> list[list[LogRecord]]:
     """Partition records into service-disjoint shards.
 
-    All records of one service land in the same shard (hash of the
-    service name), so no two workers ever mine the same service.
+    All records of one service land in the same shard (stable hash of
+    the service name), so no two workers ever mine the same service.
     """
     if n_shards <= 0:
         raise ValueError(f"n_shards must be positive, got {n_shards}")
     shards: list[list[LogRecord]] = [[] for _ in range(n_shards)]
     for record in records:
-        # crc32 rather than hash(): stable across interpreter runs, so a
-        # re-executed deployment shards identically
-        shards[zlib.crc32(record.service.encode()) % n_shards].append(record)
+        shards[route_service(record.service, n_shards)].append(record)
     return shards
 
 
 @dataclass(slots=True)
 class _ShardTask:
-    """Everything one worker needs (picklable)."""
+    """Everything one cold-pool worker needs (picklable)."""
 
     records: list[LogRecord]
     config: RTGConfig
@@ -60,6 +93,8 @@ class _ShardTask:
 
 @dataclass(slots=True)
 class _ShardOutcome:
+    """Per-shard deltas a worker reports back for merging."""
+
     n_matched: int
     n_unmatched: int
     n_partitions: int
@@ -69,52 +104,101 @@ class _ShardOutcome:
     match_counts: dict[str, int]
     match_examples: dict[str, list[str]]
     cache: dict[str, int]
+    timings: dict[str, float] = field(default_factory=dict)
 
 
-def _analyze_shard(task: _ShardTask) -> _ShardOutcome:
-    """Run one private Sequence-RTG instance over a service shard."""
-    from repro.analyzer.pattern import Pattern
+def _shard_outcome(
+    rtg: SequenceRTG,
+    reported: dict[str, int],
+    batch: BatchResult,
+    services: set[str],
+) -> _ShardOutcome:
+    """Diff the worker database against what was already reported.
 
-    rtg = SequenceRTG(db=PatternDB(), config=task.config)
-    known_support: dict[str, int] = {}
-    for pattern_dict in task.known_patterns:
-        pattern = Pattern.from_dict(pattern_dict)
-        rtg.db.upsert(pattern)
-        known_support[pattern.id] = pattern.support
-
-    result = rtg.analyze_by_service(task.records)
-
-    # one pass over the shard database: rows not previously known are new
-    # patterns, known rows whose count grew report the delta as matches
+    Rows not in *reported* are new patterns; known rows whose count grew
+    report the delta as matches.  *reported* is advanced in place, so a
+    persistent worker reports each increment exactly once.  Only the
+    services touched by the batch are scanned — nothing else can have
+    changed.
+    """
     match_counts: dict[str, int] = {}
     match_examples: dict[str, list[str]] = {}
     new_patterns: list[dict] = []
-    for row in rtg.db.rows():
-        support = known_support.get(row.id)
-        if support is None:
-            new_patterns.append(row.to_pattern().to_dict())
-        elif row.match_count > support:
-            match_counts[row.id] = row.match_count - support
-            match_examples[row.id] = row.examples
+    for service in sorted(services):
+        for row in rtg.db.rows(service=service):
+            previous = reported.get(row.id)
+            if previous is None:
+                new_patterns.append(row.to_pattern().to_dict())
+                reported[row.id] = row.match_count
+            elif row.match_count > previous:
+                match_counts[row.id] = row.match_count - previous
+                match_examples[row.id] = row.examples
+                reported[row.id] = row.match_count
     return _ShardOutcome(
-        n_matched=result.n_matched,
-        n_unmatched=result.n_unmatched,
-        n_partitions=result.n_partitions,
-        n_below_threshold=result.n_below_threshold,
-        max_trie_nodes=result.max_trie_nodes,
+        n_matched=batch.n_matched,
+        n_unmatched=batch.n_unmatched,
+        n_partitions=batch.n_partitions,
+        n_below_threshold=batch.n_below_threshold,
+        max_trie_nodes=batch.max_trie_nodes,
         new_patterns=new_patterns,
         match_counts=match_counts,
         match_examples=match_examples,
-        cache=result.cache,
+        cache=batch.cache,
+        timings=batch.timings,
     )
 
 
+def _analyze_shard(task: _ShardTask) -> _ShardOutcome:
+    """Run one throwaway Sequence-RTG instance over a service shard."""
+    from repro.analyzer.pattern import Pattern
+
+    rtg = SequenceRTG(
+        db=PatternDB(max_examples=task.config.max_examples), config=task.config
+    )
+    reported: dict[str, int] = {}
+    for pattern_dict in task.known_patterns:
+        pattern = Pattern.from_dict(pattern_dict)
+        rtg.db.upsert(pattern)
+        reported[pattern.id] = pattern.support
+
+    result = rtg.analyze_by_service(task.records)
+    return _shard_outcome(
+        rtg, reported, result, {r.service for r in task.records}
+    )
+
+
+class _DisjointMerge:
+    """Guard that every pattern id is reported by exactly one shard.
+
+    Service-disjoint sharding guarantees disjoint pattern ids across
+    shards; if routing ever broke, summing the shards' new-pattern
+    supports and match deltas would silently double count.  Raise
+    instead.
+    """
+
+    __slots__ = ("_seen",)
+
+    def __init__(self) -> None:
+        self._seen: dict[str, int] = {}
+
+    def claim(self, pattern_id: str, shard: int) -> None:
+        owner = self._seen.setdefault(pattern_id, shard)
+        if owner != shard:
+            raise RuntimeError(
+                "service-disjoint sharding violated: pattern "
+                f"{pattern_id} reported by shards {owner} and {shard}; "
+                "merging would double-count its support"
+            )
+
+
 class ParallelSequenceRTG:
-    """Service-sharded, multi-process Sequence-RTG front end.
+    """Per-batch-pool front end (the cold baseline).
 
     Semantically equivalent to :class:`SequenceRTG.analyze_by_service`
-    over the same batch; the difference is wall-clock time on multi-core
-    hosts and the memory isolation between shards.
+    over the same batch, but every call builds the process pool anew and
+    re-ships the full known pattern set of each shard's services.  Kept
+    for comparison benchmarks; production use should prefer
+    :class:`PersistentParallelSequenceRTG`.
     """
 
     def __init__(
@@ -126,6 +210,10 @@ class ParallelSequenceRTG:
         self.config = config or RTGConfig()
         self.db = db or PatternDB(max_examples=self.config.max_examples)
         self.n_workers = n_workers or max(1, multiprocessing.cpu_count() - 1)
+        #: measure the per-batch pattern re-ship (pickled bytes of the
+        #: known-pattern payloads) into ``result.pool`` — off by default
+        #: so timing runs don't pay a second serialisation
+        self.track_sync_bytes = False
         # persistent in-process instance over the shared database: runs
         # single-shard batches directly (parser and fast-lane caches stay
         # warm across batches) and absorbs pool-merged patterns in place
@@ -140,7 +228,7 @@ class ParallelSequenceRTG:
         return out
 
     def analyze_by_service(self, records: list[LogRecord]) -> BatchResult:
-        """Analyse one batch across the worker pool and merge results."""
+        """Analyse one batch across a fresh worker pool and merge results."""
         from repro.analyzer.pattern import Pattern
 
         shards = [s for s in shard_records(records, self.n_workers) if s]
@@ -163,7 +251,16 @@ class ParallelSequenceRTG:
 
         result = BatchResult(n_records=len(records))
         result.n_services = len({r.service for r in records})
-        for outcome in outcomes:
+        result.pool = {
+            "workers": len(tasks),
+            "sync_patterns": sum(len(t.known_patterns) for t in tasks),
+        }
+        if self.track_sync_bytes:
+            result.pool["sync_bytes"] = sum(
+                len(pickle.dumps(t.known_patterns)) for t in tasks
+            )
+        guard = _DisjointMerge()
+        for shard_index, outcome in enumerate(outcomes):
             result.n_matched += outcome.n_matched
             result.n_unmatched += outcome.n_unmatched
             result.n_partitions += outcome.n_partitions
@@ -171,15 +268,376 @@ class ParallelSequenceRTG:
             result.max_trie_nodes = max(result.max_trie_nodes, outcome.max_trie_nodes)
             for key, value in outcome.cache.items():
                 result.cache[key] = result.cache.get(key, 0) + value
+            for key, value in outcome.timings.items():
+                result.timings[key] = result.timings.get(key, 0.0) + value
             for pattern_dict in outcome.new_patterns:
                 pattern = Pattern.from_dict(pattern_dict)
+                guard.claim(pattern.id, shard_index)
                 # upsert + in-place parser extension: the local instance
                 # keeps serving without rebuilding its parsers
                 self._local.add_known_pattern(pattern)
                 result.n_new_patterns += 1
                 result.new_patterns.append(pattern)
             for pid, n in outcome.match_counts.items():
+                guard.claim(pid, shard_index)
                 self.db.record_match(pid, n=n)
                 for example in outcome.match_examples.get(pid, ()):
                     self.db.add_example(pid, example)
         return result
+
+
+# ----------------------------------------------------------------------
+# Persistent worker pool
+# ----------------------------------------------------------------------
+
+def _worker_main(conn, config: RTGConfig) -> None:
+    """Loop of one long-lived worker process.
+
+    Owns a private :class:`SequenceRTG` over an in-memory database for
+    its sticky services.  Protocol (one pickled message per request):
+
+    * ``("sync", patterns)`` — absorb pattern dicts into the private DB
+      and parser (no reply).  Sent at spawn (replay from the shared DB)
+      and never again for patterns this worker reported itself.
+    * ``("batch", records, patterns)`` — absorb the delta *patterns*,
+      analyse *records*, reply with a :class:`_ShardOutcome` of deltas.
+    * ``("stop",)`` — exit.
+    """
+    from repro.analyzer.pattern import Pattern
+
+    rtg = SequenceRTG(
+        db=PatternDB(max_examples=config.max_examples), config=config
+    )
+    #: match_count already reported to (or received from) the parent
+    reported: dict[str, int] = {}
+
+    def absorb(pattern_dicts: list[dict]) -> None:
+        for pattern_dict in pattern_dicts:
+            pattern = Pattern.from_dict(pattern_dict)
+            rtg.add_known_pattern(pattern)
+            reported[pattern.id] = reported.get(pattern.id, 0) + pattern.support
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message[0] == "stop":
+            break
+        if message[0] == "sync":
+            absorb(message[1])
+            continue
+        _, records, sync = message
+        absorb(sync)
+        batch = rtg.analyze_by_service(records)
+        outcome = _shard_outcome(
+            rtg, reported, batch, {r.service for r in records}
+        )
+        try:
+            conn.send(outcome)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+@dataclass(slots=True)
+class _WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    index: int
+    process: multiprocessing.Process
+    conn: object  # multiprocessing.Connection
+    #: journal head this worker is synced to
+    cursor: int
+    #: services this worker has been sent (sticky-routing telemetry)
+    services: set[str] = field(default_factory=set)
+
+
+class PersistentParallelSequenceRTG:
+    """Service-sharded Sequence-RTG over a persistent worker pool.
+
+    The scale-out engine: workers live as long as the engine, own their
+    services exclusively (stable crc32 routing) and keep everything warm
+    between batches — pattern database, parse tries, scan/match caches.
+    Per batch the parent ships each worker its shard's records plus the
+    delta of patterns new to that worker since its last sync; workers
+    reply with the same :class:`_ShardOutcome` deltas as the cold pool,
+    which the parent merges into the shared database.  The merged output
+    is identical to a serial run — ids, supports, match counts, examples.
+
+    Use as a context manager (or call :meth:`close`); worker processes
+    are daemons, so an unclosed engine cannot outlive the interpreter.
+
+    Worker death is handled, not tolerated: a dead worker is respawned
+    and its service patterns are replayed from the shared database,
+    which holds everything the worker had ever reported — the replayed
+    state is therefore exactly the dead worker's last merged state, and
+    the interrupted shard is re-dispatched.
+
+    Cumulative counters live in :attr:`telemetry`; per-batch values are
+    published as ``BatchResult.pool``.
+    """
+
+    def __init__(
+        self,
+        db: PatternDB | None = None,
+        config: RTGConfig | None = None,
+        n_workers: int | None = None,
+    ) -> None:
+        self.config = config or RTGConfig()
+        self.db = db or PatternDB(max_examples=self.config.max_examples)
+        self.n_workers = (
+            n_workers
+            or self.config.pool_workers
+            or max(1, multiprocessing.cpu_count() - 1)
+        )
+        if self.n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {self.n_workers}")
+        # absorbs merged patterns with warm parsers, and serves
+        # parser_for/parse needs of the parent process
+        self._local = SequenceRTG(db=self.db, config=self.config)
+        self._journal = PatternJournal()
+        self._workers: list[_WorkerHandle | None] = [None] * self.n_workers
+        self._closed = False
+        #: test instrumentation: called after a batch's shards are
+        #: dispatched, before outcomes are collected (crash injection)
+        self._post_dispatch_hook = None
+        self.telemetry = {
+            "batches": 0,
+            "spawns": 0,
+            "respawns": 0,
+            "sync_patterns": 0,
+            "sync_bytes": 0,
+            "seed_patterns": 0,
+            "seed_bytes": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+    def __enter__(self) -> "PersistentParallelSequenceRTG":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop every worker and mark the engine unusable (idempotent).
+
+        The shared database stays open — closing the pool is how a
+        deployment hands off to `export`/`report` tooling.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            if handle is None:
+                continue
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            handle.conn.close()
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+        self._workers = [None] * self.n_workers
+
+    # -- routing and sync ------------------------------------------------
+    def worker_for(self, service: str) -> int:
+        """Sticky worker index owning *service* (stable across batches)."""
+        return route_service(service, self.n_workers)
+
+    def _seed_for(self, index: int) -> list[dict]:
+        """Every known pattern of the services routed to shard *index*.
+
+        Shipped once at (re)spawn: the shared database is the union of
+        everything ever merged, so this replay reconstructs exactly the
+        worker's last reported state.
+        """
+        out: list[dict] = []
+        for service in self.db.services():
+            if route_service(service, self.n_workers) != index:
+                continue
+            out.extend(p.to_dict() for p in self.db.load_service(service))
+        return out
+
+    def _spawn(self, index: int, respawn: bool = False) -> _WorkerHandle:
+        parent_conn, child_conn = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=_worker_main,
+            args=(child_conn, self.config),
+            name=f"sequence-rtg-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(
+            index=index,
+            process=process,
+            conn=parent_conn,
+            cursor=self._journal.head,
+        )
+        seed = self._seed_for(index)
+        if seed:
+            blob = pickle.dumps(seed)
+            self.telemetry["seed_patterns"] += len(seed)
+            self.telemetry["seed_bytes"] += len(blob)
+            handle.conn.send(("sync", seed))
+        self.telemetry["respawns" if respawn else "spawns"] += 1
+        self._workers[index] = handle
+        return handle
+
+    def _ensure_worker(self, index: int) -> _WorkerHandle:
+        handle = self._workers[index]
+        if handle is None:
+            return self._spawn(index)
+        if not handle.process.is_alive():
+            return self._respawn_after_failure(handle)
+        return handle
+
+    def _respawn_after_failure(self, handle: _WorkerHandle) -> _WorkerHandle:
+        """Retire a dead worker's handle and bring up its replacement."""
+        handle.conn.close()
+        handle.process.join(timeout=5.0)
+        replacement = self._spawn(handle.index, respawn=True)
+        replacement.services.update(handle.services)
+        return replacement
+
+    def _delta_for(self, handle: _WorkerHandle) -> list[dict]:
+        """Patterns new to this worker since its last sync — O(new).
+
+        Entries the worker itself reported are skipped (it already has
+        them); so are entries routed to other shards.  The cursor always
+        advances to the journal head: skipped entries stay skippable
+        forever, so they never need to be revisited.
+        """
+        entries = self._journal.since(handle.cursor)
+        handle.cursor = self._journal.head
+        return [
+            e.pattern
+            for e in entries
+            if e.origin != handle.index
+            and route_service(e.service, self.n_workers) == handle.index
+        ]
+
+    def publish_pattern(self, pattern) -> str:
+        """Add a parent-side pattern (import, promotion, ad-hoc mining).
+
+        Persists to the shared database and journals the addition so the
+        owning worker receives it as a delta with its next batch instead
+        of ever re-discovering it.  Returns the pattern id.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        pid = self._local.add_known_pattern(pattern)
+        self._journal.append(pattern.service, pattern.to_dict(), origin=None)
+        return pid
+
+    # -- analysis --------------------------------------------------------
+    def analyze_by_service(self, records: list[LogRecord]) -> BatchResult:
+        """Analyse one batch across the persistent pool and merge results."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        result = BatchResult(n_records=len(records))
+        result.n_services = len({r.service for r in records})
+        spawns_before = self.telemetry["spawns"]
+        respawns_before = self.telemetry["respawns"]
+        sync_patterns = sync_bytes = 0
+
+        dispatched: list[tuple[_WorkerHandle, list[LogRecord]]] = []
+        for index, shard in enumerate(shard_records(records, self.n_workers)):
+            if not shard:
+                continue
+            handle = self._ensure_worker(index)
+            handle.services.update(r.service for r in shard)
+            sync = self._delta_for(handle)
+            if sync:
+                sync_patterns += len(sync)
+                sync_bytes += len(pickle.dumps(sync))
+            try:
+                handle.conn.send(("batch", shard, sync))
+            except (BrokenPipeError, OSError):
+                # died since the liveness check; replay and re-dispatch
+                handle = self._respawn_after_failure(handle)
+                handle.conn.send(("batch", shard, self._delta_for(handle)))
+            dispatched.append((handle, shard))
+
+        if self._post_dispatch_hook is not None:
+            self._post_dispatch_hook()
+
+        outcomes: list[tuple[int, _ShardOutcome]] = []
+        for handle, shard in dispatched:
+            try:
+                outcome = handle.conn.recv()
+            except (EOFError, OSError):
+                # the worker died mid-batch.  Nothing of this batch was
+                # merged, so replaying its patterns from the shared DB
+                # and re-dispatching the shard reproduces the lost work
+                # exactly (the replayed state is the worker's last
+                # merged state).
+                handle = self._respawn_after_failure(handle)
+                handle.conn.send(("batch", shard, self._delta_for(handle)))
+                outcome = handle.conn.recv()
+            outcomes.append((handle.index, outcome))
+
+        self._merge(outcomes, result)
+        self.telemetry["batches"] += 1
+        self.telemetry["sync_patterns"] += sync_patterns
+        self.telemetry["sync_bytes"] += sync_bytes
+        result.pool = {
+            "workers": len(dispatched),
+            "spawns": self.telemetry["spawns"] - spawns_before,
+            "respawns": self.telemetry["respawns"] - respawns_before,
+            "sync_patterns": sync_patterns,
+            "sync_bytes": sync_bytes,
+            "seed_patterns": self.telemetry["seed_patterns"],
+            "seed_bytes": self.telemetry["seed_bytes"],
+        }
+        return result
+
+    def _merge(
+        self, outcomes: list[tuple[int, _ShardOutcome]], result: BatchResult
+    ) -> None:
+        from repro.analyzer.pattern import Pattern
+
+        guard = _DisjointMerge()
+        for shard_index, outcome in outcomes:
+            result.n_matched += outcome.n_matched
+            result.n_unmatched += outcome.n_unmatched
+            result.n_partitions += outcome.n_partitions
+            result.n_below_threshold += outcome.n_below_threshold
+            result.max_trie_nodes = max(
+                result.max_trie_nodes, outcome.max_trie_nodes
+            )
+            for key, value in outcome.cache.items():
+                result.cache[key] = result.cache.get(key, 0) + value
+            # summed across workers: total CPU seconds per stage, not
+            # wall clock (workers overlap)
+            for key, value in outcome.timings.items():
+                result.timings[key] = result.timings.get(key, 0.0) + value
+            for pattern_dict in outcome.new_patterns:
+                pattern = Pattern.from_dict(pattern_dict)
+                guard.claim(pattern.id, shard_index)
+                self._local.add_known_pattern(pattern)
+                self._journal.append(
+                    pattern.service, pattern_dict, origin=shard_index
+                )
+                result.n_new_patterns += 1
+                result.new_patterns.append(pattern)
+            for pid, n in outcome.match_counts.items():
+                guard.claim(pid, shard_index)
+                self.db.record_match(pid, n=n)
+                for example in outcome.match_examples.get(pid, ()):
+                    self.db.add_example(pid, example)
+
+    # ------------------------------------------------------------------
+    def process_stream(self, batches):
+        """Run ``analyze_by_service`` for every batch; yield results.
+
+        *batches* is any iterable of record lists — typically
+        :meth:`repro.core.ingest.StreamIngester.batches_pipelined`, so
+        ingest of batch *N+1* overlaps analysis of batch *N* while the
+        workers overlap each other within every batch.
+        """
+        for batch in batches:
+            yield self.analyze_by_service(batch)

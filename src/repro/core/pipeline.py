@@ -55,6 +55,10 @@ class BatchResult:
     #: misses and evictions plus dedup savings (empty when the fast lane
     #: is disabled) — see :meth:`repro.core.fastpath.FastPath.snapshot`
     cache: dict[str, int] = field(default_factory=dict)
+    #: worker-pool telemetry for this batch (empty for in-process runs):
+    #: workers used, spawns/respawns, delta-sync and replay payloads —
+    #: see :class:`repro.core.parallel.PersistentParallelSequenceRTG`
+    pool: dict[str, int] = field(default_factory=dict)
     new_patterns: list[Pattern] = field(default_factory=list)
 
     @property

@@ -53,6 +53,10 @@ class SimulationConfig:
     promote_max_complexity: float = 0.9
     initial_coverage: float = 0.22  # paper: 20-25% matched before RTG
     churn_templates_per_day: int = 6  # software updates add new events
+    #: mine on a persistent worker pool of this size (1 = in-process
+    #: serial miner, the historical behaviour); the mined database is
+    #: identical either way — only wall-clock changes
+    n_workers: int = 1
     stream: StreamConfig = field(default_factory=StreamConfig)
     seed: int = 7
 
@@ -95,9 +99,33 @@ class ProductionSimulation:
         self.stream = ProductionStream(self.config.stream)
         self.syslog = SyslogNG()
         self.es = SimulatedElasticsearch()
-        rtg_config = RTGConfig(batch_size=self.config.batch_size, save_threshold=1)
-        self.rtg = SequenceRTG(db=PatternDB(), config=rtg_config)
+        self.rtg = self._make_miner()
         self._promoted_ids: set[str] = set()
+
+    def _make_miner(self):
+        """Fresh miner over an empty DB (serial or persistent pool)."""
+        rtg_config = RTGConfig(batch_size=self.config.batch_size, save_threshold=1)
+        if self.config.n_workers > 1:
+            from repro.core.parallel import PersistentParallelSequenceRTG
+
+            return PersistentParallelSequenceRTG(
+                db=PatternDB(),
+                config=rtg_config,
+                n_workers=self.config.n_workers,
+            )
+        return SequenceRTG(db=PatternDB(), config=rtg_config)
+
+    def close(self) -> None:
+        """Stop the miner's worker pool, if it has one (idempotent)."""
+        close = getattr(self.rtg, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ProductionSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def bootstrap(self) -> int:
@@ -122,10 +150,8 @@ class ProductionSimulation:
         self._promoted_ids.update(p.id for p in chosen)
         # the bootstrap mining session belongs to the "before" era: reset
         # the miner so day-1 statistics start from a clean database
-        self.rtg = SequenceRTG(
-            db=PatternDB(),
-            config=RTGConfig(batch_size=self.config.batch_size, save_threshold=1),
-        )
+        self.close()
+        self.rtg = self._make_miner()
         return report.promoted
 
     # ------------------------------------------------------------------

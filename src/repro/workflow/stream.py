@@ -11,6 +11,7 @@ hardware, new events can appear", paper §I).
 
 from __future__ import annotations
 
+import json
 import random
 from collections import deque
 from dataclasses import dataclass
@@ -188,6 +189,17 @@ class ProductionStream:
         """Draw *n* records."""
         for _ in range(n):
             yield self.record()
+
+    def jsonl(self, n: int) -> Iterator[str]:
+        """Draw *n* records as the stream's JSON-lines wire format.
+
+        The exact shape syslog-ng pipes into ``sequence-rtg serve`` —
+        feed it to :meth:`repro.core.ingest.StreamIngester.batches_pipelined`
+        to exercise the full ingest path (JSON decode included) instead
+        of pre-parsed records.
+        """
+        for record in self.records(n):
+            yield json.dumps(record.to_json_dict())
 
     @property
     def n_templates(self) -> int:

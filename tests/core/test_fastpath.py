@@ -340,3 +340,47 @@ class TestConfigValidation:
     def test_negative_cache_sizes_rejected(self, kwargs):
         with pytest.raises(ValueError):
             RTGConfig(**kwargs)
+
+
+class TestPatternJournal:
+    def test_head_is_monotone_and_entries_sequenced(self):
+        from repro.core.fastpath import PatternJournal
+
+        journal = PatternJournal()
+        assert journal.head == 0
+        assert journal.append("sshd", {"p": 1}) == 1
+        assert journal.append("httpd", {"p": 2}, origin=1) == 2
+        assert journal.head == 2 == len(journal)
+        entries = journal.since(0)
+        assert [e.seq for e in entries] == [0, 1]
+        assert entries[0].service == "sshd" and entries[0].origin is None
+        assert entries[1].service == "httpd" and entries[1].origin == 1
+
+    def test_since_returns_only_new_entries(self):
+        from repro.core.fastpath import PatternJournal
+
+        journal = PatternJournal()
+        journal.append("a", {"p": 1})
+        cursor = journal.head
+        assert journal.since(cursor) == []
+        journal.append("b", {"p": 2})
+        journal.append("c", {"p": 3})
+        assert [e.service for e in journal.since(cursor)] == ["b", "c"]
+        # old cursors keep working: the log is append-only
+        assert len(journal.since(0)) == 3
+
+    def test_negative_cursor_rejected(self):
+        from repro.core.fastpath import PatternJournal
+
+        with pytest.raises(ValueError):
+            PatternJournal().since(-1)
+
+
+class TestPoolConfigValidation:
+    def test_negative_pool_workers_rejected(self):
+        with pytest.raises(ValueError):
+            RTGConfig(pool_workers=-1)
+
+    def test_zero_ingest_prefetch_rejected(self):
+        with pytest.raises(ValueError):
+            RTGConfig(ingest_prefetch=0)

@@ -103,3 +103,80 @@ class TestBatching:
         gen = ingester.batches(stream())
         next(gen)
         assert len(consumed) == 5
+
+
+class TestPipelinedBatching:
+    def test_same_batches_same_order_as_plain(self):
+        plain = list(StreamIngester(batch_size=10).batches(lines(95)))
+        piped = list(StreamIngester(batch_size=10).batches_pipelined(lines(95)))
+        assert piped == plain
+        assert [len(b) for b in piped] == [10] * 9 + [5]
+
+    def test_stats_complete_after_consumption(self):
+        ingester = StreamIngester(batch_size=10)
+        stream = lines(20) + ["garbage"] + lines(4)
+        n = sum(len(b) for b in ingester.batches_pipelined(stream))
+        assert n == 24
+        assert ingester.stats.n_records == 24
+        assert ingester.stats.n_malformed == 1
+        assert ingester.stats.n_batches == 3
+
+    def test_early_close_stops_reader_without_loss(self):
+        """Closing the generator early must neither lose nor reorder the
+        batches already yielded, and must not keep draining the source
+        beyond the prefetch window (production pipes are infinite)."""
+        consumed = []
+
+        def stream():
+            for i in range(1000):
+                consumed.append(i)
+                yield json.dumps({"service": "s", "message": f"msg {i}"})
+
+        ingester = StreamIngester(batch_size=10)
+        gen = ingester.batches_pipelined(stream(), prefetch=2)
+        first = next(gen)
+        second = next(gen)
+        gen.close()  # must return promptly, not hang on the reader
+        assert [r.message for r in first] == [f"msg {i}" for i in range(10)]
+        assert [r.message for r in second] == [f"msg {i}" for i in range(10, 20)]
+        # 2 yielded + at most the prefetch window + one in-flight batch
+        assert len(consumed) <= 10 * (2 + 2 + 1) + 1
+
+    def test_source_exception_propagates(self):
+        def exploding():
+            yield from lines(15)
+            raise OSError("pipe broke")
+
+        ingester = StreamIngester(batch_size=10)
+        gen = ingester.batches_pipelined(exploding())
+        assert len(next(gen)) == 10
+        with pytest.raises(OSError, match="pipe broke"):
+            list(gen)
+
+    def test_invalid_prefetch(self):
+        ingester = StreamIngester(batch_size=10)
+        with pytest.raises(ValueError):
+            next(ingester.batches_pipelined(lines(5), prefetch=0))
+
+    def test_prefetch_runs_ahead_of_consumer(self):
+        """Double buffering: while the consumer sits on batch N, the
+        reader should already have parsed batch N+1 into the queue."""
+        import time
+
+        consumed = []
+
+        def stream():
+            for i in range(60):
+                consumed.append(i)
+                yield json.dumps({"service": "s", "message": f"msg {i}"})
+
+        ingester = StreamIngester(batch_size=10)
+        gen = ingester.batches_pipelined(stream(), prefetch=2)
+        next(gen)
+        deadline = time.monotonic() + 2.0
+        while len(consumed) < 30 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        # without touching the generator again, the reader filled the
+        # prefetch window (2 queued batches beyond the one yielded)
+        assert len(consumed) >= 30
+        gen.close()

@@ -1,8 +1,14 @@
-"""Parallel (service-sharded) AnalyzeByService."""
+"""Parallel (service-sharded) AnalyzeByService — cold pool and
+persistent worker pool."""
 
 import pytest
 
-from repro.core.parallel import ParallelSequenceRTG, shard_records
+from repro.core.parallel import (
+    ParallelSequenceRTG,
+    PersistentParallelSequenceRTG,
+    route_service,
+    shard_records,
+)
 from repro.core.patterndb import PatternDB
 from repro.core.pipeline import SequenceRTG
 from repro.core.records import LogRecord
@@ -12,6 +18,33 @@ from repro.workflow.stream import ProductionStream, StreamConfig
 def records_for_test(n=600, n_services=12, seed=6):
     stream = ProductionStream(StreamConfig(n_services=n_services, seed=seed))
     return list(stream.records(n))
+
+
+def batches_for_test(n_batches=5, per_batch=250, n_services=12, seed=6,
+                     duplicate_fraction=0.5):
+    """Consecutive batches from one continuous stream: pattern discovery
+    spans batches, later batches mostly match earlier patterns."""
+    stream = ProductionStream(StreamConfig(
+        n_services=n_services, seed=seed,
+        duplicate_fraction=duplicate_fraction,
+    ))
+    return [list(stream.records(per_batch)) for _ in range(n_batches)]
+
+
+def db_fingerprint(db):
+    """Everything the bit-identical invariant covers: pattern ids,
+    texts, supports (match counts) and stored examples."""
+    return sorted(
+        (row.id, row.service, row.pattern_text, row.match_count,
+         tuple(row.examples))
+        for row in db.rows()
+    )
+
+
+def serial_reference(batches):
+    serial = SequenceRTG(db=PatternDB())
+    results = [serial.analyze_by_service(batch) for batch in batches]
+    return serial, results
 
 
 class TestSharding:
@@ -81,3 +114,208 @@ class TestIncremental:
         parallel.analyze_by_service(records[:3])
         (row,) = parallel.db.rows(service="sshd")
         assert row.match_count == before + 3
+
+
+class TestDisjointMergeGuard:
+    def test_split_service_raises_instead_of_double_counting(self, monkeypatch):
+        """If sharding ever stopped being service-disjoint, the same
+        pattern would be discovered by several workers and its support
+        silently summed; the merge must raise instead."""
+        import repro.core.parallel as parallel_mod
+
+        def broken_shard(records, n_shards):
+            # round-robin: tears every service across all shards
+            shards = [[] for _ in range(n_shards)]
+            for i, record in enumerate(records):
+                shards[i % n_shards].append(record)
+            return shards
+
+        monkeypatch.setattr(parallel_mod, "shard_records", broken_shard)
+        records = [
+            LogRecord("sshd", f"Accepted password for u{i} from 10.0.0.{i} port {4000+i} ssh2")
+            for i in range(12)
+        ]
+        parallel = ParallelSequenceRTG(db=PatternDB(), n_workers=2)
+        with pytest.raises(RuntimeError, match="service-disjoint"):
+            parallel.analyze_by_service(records)
+
+
+class TestPersistentEquivalence:
+    def test_multi_batch_bit_identical_to_serial(self):
+        """≥5 consecutive batches with discovery spanning batches: the
+        persistent pool's database must be bit-identical to serial —
+        ids, supports, match counts, examples."""
+        batches = batches_for_test(n_batches=5)
+        serial, serial_results = serial_reference(batches)
+
+        with PersistentParallelSequenceRTG(db=PatternDB(), n_workers=3) as engine:
+            for batch, expected in zip(batches, serial_results):
+                result = engine.analyze_by_service(batch)
+                # per-batch aggregate counters match serial too
+                assert result.n_records == expected.n_records
+                assert result.n_matched == expected.n_matched
+                assert result.n_unmatched == expected.n_unmatched
+                assert result.n_new_patterns == expected.n_new_patterns
+            assert db_fingerprint(engine.db) == db_fingerprint(serial.db)
+            assert engine.telemetry["batches"] == len(batches)
+            assert engine.telemetry["respawns"] == 0
+
+    def test_later_batches_ship_no_patterns(self):
+        """Sticky workers already own their services' patterns: steady
+        state ships records only, never the known set."""
+        batches = batches_for_test(n_batches=4)
+        with PersistentParallelSequenceRTG(db=PatternDB(), n_workers=3) as engine:
+            for batch in batches:
+                result = engine.analyze_by_service(batch)
+                # no parent-side additions, no respawns -> empty deltas
+                assert result.pool["sync_patterns"] == 0
+                assert result.pool["sync_bytes"] == 0
+            assert engine.telemetry["seed_patterns"] == 0
+
+    def test_seeded_database_is_replayed_to_workers(self):
+        """A pre-seeded shared DB reaches workers at spawn: known
+        patterns match instead of being re-discovered."""
+        batches = batches_for_test(n_batches=3)
+        serial, _ = serial_reference(batches[:1])
+        seeded = PatternDB.from_dump(serial.db.dump())
+
+        with PersistentParallelSequenceRTG(db=seeded, n_workers=2) as engine:
+            result = engine.analyze_by_service(batches[0])
+            assert result.n_new_patterns == 0
+            assert result.n_matched > 0
+            assert engine.telemetry["seed_patterns"] > 0
+
+    def test_publish_pattern_reaches_owner_as_delta(self):
+        """Parent-side additions flow to the owning worker via the
+        journal — O(new patterns), not a full re-ship."""
+        miner = SequenceRTG(db=PatternDB())
+        records = [
+            LogRecord("sshd", f"Accepted password for u{i} from 10.0.0.{i} port {4000+i} ssh2")
+            for i in range(8)
+        ]
+        mined = miner.analyze_by_service(records)
+        pattern = mined.new_patterns[0]
+
+        with PersistentParallelSequenceRTG(db=PatternDB(), n_workers=2) as engine:
+            # spawn the sshd worker with unrelated traffic first
+            engine.analyze_by_service(
+                [LogRecord("sshd", f"session opened for root{i}") for i in range(4)]
+            )
+            engine.publish_pattern(pattern)
+            result = engine.analyze_by_service(records[:5])
+            assert result.n_matched == 5
+            assert result.n_new_patterns == 0
+            assert result.pool["sync_patterns"] == 1
+            assert result.pool["sync_bytes"] > 0
+            # the delta is consumed exactly once
+            again = engine.analyze_by_service(records[5:])
+            assert again.pool["sync_patterns"] == 0
+
+
+class TestStickyRouting:
+    def test_routing_is_stable_across_batches(self):
+        """The same worker owns the same services for the pool's whole
+        life: no process is replaced and no service ever moves."""
+        batches = batches_for_test(n_batches=4)
+        with PersistentParallelSequenceRTG(db=PatternDB(), n_workers=3) as engine:
+            engine.analyze_by_service(batches[0])
+            pids = {
+                i: handle.process.pid
+                for i, handle in enumerate(engine._workers)
+                if handle is not None
+            }
+            for batch in batches[1:]:
+                engine.analyze_by_service(batch)
+            for i, handle in enumerate(engine._workers):
+                if i in pids:
+                    assert handle.process.pid == pids[i]
+            # every service seen by exactly the worker crc32 routes it to
+            seen = {}
+            for i, handle in enumerate(engine._workers):
+                if handle is None:
+                    continue
+                for service in handle.services:
+                    assert seen.setdefault(service, i) == i
+                    assert engine.worker_for(service) == i
+                    assert route_service(service, engine.n_workers) == i
+
+    def test_route_service_matches_shard_records(self):
+        records = records_for_test()
+        shards = shard_records(records, 4)
+        for i, shard in enumerate(shards):
+            for record in shard:
+                assert route_service(record.service, 4) == i
+
+
+class TestWorkerCrash:
+    def test_kill_between_batches_respawns_and_stays_identical(self):
+        batches = batches_for_test(n_batches=6)
+        serial, _ = serial_reference(batches)
+
+        with PersistentParallelSequenceRTG(db=PatternDB(), n_workers=3) as engine:
+            for i, batch in enumerate(batches):
+                if i == 3:
+                    victim = next(
+                        h for h in engine._workers if h is not None
+                    )
+                    victim.process.kill()
+                    victim.process.join(timeout=5.0)
+                engine.analyze_by_service(batch)
+            assert engine.telemetry["respawns"] >= 1
+            assert engine.telemetry["seed_patterns"] > 0  # replayed from shared DB
+            assert db_fingerprint(engine.db) == db_fingerprint(serial.db)
+
+    def test_kill_mid_batch_replays_and_stays_identical(self):
+        """The robustness criterion: a worker killed after dispatch but
+        before replying loses its in-flight work; the engine respawns
+        it, replays its patterns from the shared DB and re-dispatches
+        the shard — the final database is still bit-identical."""
+        batches = batches_for_test(n_batches=5)
+        serial, _ = serial_reference(batches)
+
+        with PersistentParallelSequenceRTG(db=PatternDB(), n_workers=3) as engine:
+            def crash_one_worker():
+                victim = next(h for h in engine._workers if h is not None)
+                victim.process.kill()
+                victim.process.join(timeout=5.0)
+                engine._post_dispatch_hook = None  # crash only once
+
+            for i, batch in enumerate(batches):
+                if i == 2:
+                    engine._post_dispatch_hook = crash_one_worker
+                engine.analyze_by_service(batch)
+            assert engine.telemetry["respawns"] == 1
+            assert db_fingerprint(engine.db) == db_fingerprint(serial.db)
+
+
+class TestEngineLifecycle:
+    def test_close_is_idempotent_and_terminates_workers(self):
+        engine = PersistentParallelSequenceRTG(db=PatternDB(), n_workers=2)
+        engine.analyze_by_service(records_for_test(n=120))
+        procs = [h.process for h in engine._workers if h is not None]
+        assert procs
+        engine.close()
+        engine.close()
+        for proc in procs:
+            assert not proc.is_alive()
+
+    def test_closed_engine_rejects_work(self):
+        engine = PersistentParallelSequenceRTG(db=PatternDB(), n_workers=2)
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.analyze_by_service(records_for_test(n=10))
+
+    def test_context_manager_closes(self):
+        with PersistentParallelSequenceRTG(db=PatternDB(), n_workers=2) as engine:
+            engine.analyze_by_service(records_for_test(n=120))
+            procs = [h.process for h in engine._workers if h is not None]
+        for proc in procs:
+            assert not proc.is_alive()
+
+    def test_db_stays_usable_after_close(self):
+        engine = PersistentParallelSequenceRTG(db=PatternDB(), n_workers=2)
+        engine.analyze_by_service(records_for_test(n=200))
+        n_patterns = len(engine.db.rows())
+        engine.close()
+        assert len(engine.db.rows()) == n_patterns
+        assert engine.db.counts()["patterns"] == n_patterns

@@ -71,6 +71,47 @@ class TestServeOverPipe:
         assert "(2 malformed)" in proc.stderr
 
 
+class TestServeWithWorkerPool:
+    def test_worker_pool_over_stdin_pipe(self, db_path):
+        proc = run_cli(
+            ["--db", db_path, "serve", "-", "--batch-size", "10", "--workers", "2"],
+            stream_text(40),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "ingested 40 records" in proc.stderr
+        assert proc.stderr.count("batch:") == 4
+        with PatternDB(db_path) as db:
+            assert db.counts()["patterns"] >= 1
+
+    def test_pool_database_identical_to_serial(self, db_path, tmp_path):
+        serial_path = str(tmp_path / "serial.db")
+        text = stream_text(40)
+        run_cli(["--db", serial_path, "serve", "-", "--batch-size", "10"], text)
+        proc = run_cli(
+            ["--db", db_path, "serve", "-", "--batch-size", "10", "--workers", "2"],
+            text,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+        def fingerprint(path):
+            with PatternDB(path) as db:
+                return sorted(
+                    (r.id, r.service, r.pattern_text, r.match_count)
+                    for r in db.rows()
+                )
+
+        assert fingerprint(db_path) == fingerprint(serial_path)
+
+    def test_no_pipeline_flag(self, db_path):
+        proc = run_cli(
+            ["--db", db_path, "serve", "-", "--batch-size", "10", "--no-pipeline"],
+            stream_text(40),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "ingested 40 records" in proc.stderr
+        assert proc.stderr.count("batch:") == 4
+
+
 class TestParseOverPipe:
     def test_parse_stdin_json_output(self, db_path):
         run_cli(["--db", db_path, "serve", "-", "--batch-size", "10"], stream_text(40))
