@@ -16,8 +16,6 @@ Shape targets asserted:
 * a single instance keeps pace (analysis time well under the fill time).
 """
 
-import pytest
-
 from repro.workflow import ProductionSimulation, SimulationConfig, StreamConfig
 
 _HISTORY: list = []

@@ -20,17 +20,34 @@ class StageTimer:
     def __init__(self) -> None:
         self._elapsed: dict[str, float] = {}
         self._counts: dict[str, int] = {}
+        self._starts: dict[str, float] = {}
+
+    def begin(self, name: str) -> None:
+        """Open one execution of *name* (paired with :meth:`end`).
+
+        The explicit begin/end pair is what lets event-driven callers —
+        :class:`repro.core.engine.TimingObserver` reacting to stage
+        start/end hooks — drive the timer without a ``with`` block.
+        """
+        self._starts[name] = time.perf_counter()
+
+    def end(self, name: str) -> None:
+        """Close the open execution of *name* and accumulate it."""
+        start = self._starts.pop(name, None)
+        if start is None:
+            raise ValueError(f"end({name!r}) without a matching begin()")
+        dt = time.perf_counter() - start
+        self._elapsed[name] = self._elapsed.get(name, 0.0) + dt
+        self._counts[name] = self._counts.get(name, 0) + 1
 
     @contextmanager
     def stage(self, name: str):
         """Context manager timing one execution of *name*."""
-        start = time.perf_counter()
+        self.begin(name)
         try:
             yield
         finally:
-            dt = time.perf_counter() - start
-            self._elapsed[name] = self._elapsed.get(name, 0.0) + dt
-            self._counts[name] = self._counts.get(name, 0) + 1
+            self.end(name)
 
     def elapsed(self, name: str) -> float:
         """Total seconds accumulated for *name* (0.0 if never run)."""
@@ -51,3 +68,4 @@ class StageTimer:
     def reset(self) -> None:
         self._elapsed.clear()
         self._counts.clear()
+        self._starts.clear()

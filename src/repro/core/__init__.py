@@ -8,15 +8,24 @@ production-ready tool described in §III of the paper:
 * :class:`~repro.core.patterndb.PatternDB` — persistent SQL pattern
   store with reproducible SHA1 ids, per-pattern statistics and up to
   three example messages;
-* :class:`~repro.core.pipeline.SequenceRTG` — the ``AnalyzeByService``
+* :class:`~repro.core.engine.MiningEngine` — the ``AnalyzeByService``
   workflow (partition by service → scan → parse known → partition by
-  token count → analyse → persist) plus the seminal ``Analyze`` mode for
-  comparison;
+  token count → analyse → persist) as explicit stage objects with
+  pluggable :class:`~repro.core.engine.StageObserver` instrumentation;
+* :class:`~repro.core.pipeline.SequenceRTG` — the serial front end over
+  the engine, plus the seminal ``Analyze`` mode for comparison;
 * :mod:`repro.core.export` — syslog-ng patterndb XML, YAML and Logstash
   Grok exporters.
 """
 
 from repro.core.config import RTGConfig
+from repro.core.engine import (
+    BatchResult,
+    MiningEngine,
+    PersistStage,
+    ServiceBatchContext,
+    StageObserver,
+)
 from repro.core.fastpath import FastPath, LRUCache, PatternJournal
 from repro.core.ingest import StreamIngester, parse_record
 from repro.core.parallel import (
@@ -25,7 +34,7 @@ from repro.core.parallel import (
     route_service,
 )
 from repro.core.patterndb import PatternDB, PatternRow
-from repro.core.pipeline import BatchResult, SequenceRTG
+from repro.core.pipeline import SequenceRTG
 from repro.core.records import LogRecord
 
 __all__ = [
@@ -38,6 +47,10 @@ __all__ = [
     "PatternDB",
     "PatternRow",
     "BatchResult",
+    "MiningEngine",
+    "PersistStage",
+    "ServiceBatchContext",
+    "StageObserver",
     "SequenceRTG",
     "ParallelSequenceRTG",
     "PersistentParallelSequenceRTG",

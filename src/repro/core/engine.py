@@ -1,0 +1,456 @@
+"""The staged mining engine behind every ``AnalyzeByService`` front end.
+
+The paper's Fig. 2 workflow — service partition → scan → parse known →
+token-count partition → per-trie analyse → persist — used to be inlined
+in :meth:`repro.core.pipeline.SequenceRTG.analyze_by_service` and then
+re-implemented in fragments by the cold worker pool, the persistent
+worker loop and the warm pool's merge path.  This module makes the
+workflow an explicit object instead:
+
+* :class:`ServiceBatchContext` — the typed carrier of one service
+  group's intermediate state (scanned messages, dedup multiplicities,
+  match tallies, length partitions, discovered patterns) as it flows
+  through the stages;
+* the five stages — :class:`ScanStage`, :class:`ParseStage`,
+  :class:`LengthPartitionStage`, :class:`AnalyzeStage`,
+  :class:`PersistStage` — each a small object with a ``name`` and a
+  ``run(context)``;
+* :class:`StageObserver` — the single instrumentation channel.
+  Stage timings (:class:`TimingObserver`), fast-lane cache deltas
+  (:class:`FastPathObserver`) and worker-pool counters (the pool's own
+  observer in :mod:`repro.core.parallel`) all feed
+  :class:`BatchResult` through the same four hooks instead of three
+  ad-hoc telemetry paths;
+* :class:`MiningEngine` — partitions a batch by service and drives each
+  group through the stages, notifying observers around every stage.
+
+Every execution path runs this one engine.  The serial miner uses the
+default :class:`PersistStage` (shared database); pool workers substitute
+:class:`repro.core.parallel.DeltaPersistStage`, which writes the
+worker's private database and accumulates the delta reply for the
+parent — the persistence seam is the *only* difference between the
+paths, which is what keeps their mined output bit-identical (asserted
+by ``tests/core/test_engine.py``, not assumed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import TYPE_CHECKING
+
+from repro._util.timers import StageTimer
+from repro.analyzer.analyzer import Analyzer
+from repro.analyzer.pattern import Pattern
+from repro.core.fastpath import FastPath
+from repro.core.records import LogRecord
+from repro.scanner.scanner import ScannedMessage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.pipeline import SequenceRTG
+
+__all__ = [
+    "BatchResult",
+    "ServiceBatchContext",
+    "Stage",
+    "ScanStage",
+    "ParseStage",
+    "LengthPartitionStage",
+    "AnalyzeStage",
+    "PersistStage",
+    "StageObserver",
+    "TimingObserver",
+    "FastPathObserver",
+    "MiningEngine",
+    "drive_stream",
+]
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """Telemetry of one ``analyze_by_service`` execution."""
+
+    n_records: int = 0
+    n_services: int = 0
+    n_matched: int = 0  # parsed against already-known patterns
+    n_unmatched: int = 0  # sent on to the analyser
+    n_partitions: int = 0  # (service, token count) analysis partitions
+    n_new_patterns: int = 0  # newly discovered and persisted
+    n_below_threshold: int = 0  # discovered but under the save threshold
+    max_trie_nodes: int = 0  # memory telemetry (largest analysis trie)
+    #: per-stage wall-clock seconds, filled by :class:`TimingObserver`
+    timings: dict[str, float] = field(default_factory=dict)
+    #: fast-lane effectiveness for this batch: scan/match cache hits,
+    #: misses and evictions plus dedup savings (empty when the fast lane
+    #: is disabled) — filled by :class:`FastPathObserver` from
+    #: :meth:`repro.core.fastpath.FastPath.snapshot` deltas
+    cache: dict[str, int] = field(default_factory=dict)
+    #: worker-pool telemetry for this batch (empty for in-process runs):
+    #: workers used, spawns/respawns, delta-sync and replay payloads —
+    #: see :class:`repro.core.parallel.PersistentParallelSequenceRTG`
+    pool: dict[str, int] = field(default_factory=dict)
+    new_patterns: list[Pattern] = field(default_factory=list)
+
+    @property
+    def matched_fraction(self) -> float:
+        return self.n_matched / self.n_records if self.n_records else 0.0
+
+
+@dataclass(slots=True)
+class ServiceBatchContext:
+    """One service group's state as it flows scan → … → persist.
+
+    Each stage reads the fields earlier stages filled and writes its
+    own; the engine folds the final context into the batch-level
+    :class:`BatchResult`.
+    """
+
+    service: str
+    records: list[LogRecord]
+    #: timestamp for DB writes (None = wall clock per write)
+    now: datetime | None = None
+    #: distinct scanned messages in first-occurrence order (ScanStage)
+    scanned: list[ScannedMessage] = field(default_factory=list)
+    #: dedup multiplicities parallel to ``scanned``; None when the fast
+    #: lane is disabled (every message counts once)
+    counts: list[int] | None = None
+    #: per-message flag: scan served from the cross-batch cache; None
+    #: when the fast lane is disabled
+    from_cache: list[bool] | None = None
+    #: messages no known pattern matched, with their multiplicities
+    unmatched: list[ScannedMessage] = field(default_factory=list)
+    unmatched_counts: list[int] = field(default_factory=list)
+    #: pattern id -> occurrences matched this batch (ParseStage)
+    match_counts: dict[str, int] = field(default_factory=dict)
+    #: pattern id -> originals worth storing as examples (ParseStage)
+    match_examples: dict[str, list[str]] = field(default_factory=dict)
+    #: token count -> (messages, multiplicities) (LengthPartitionStage)
+    by_length: dict[int, tuple[list[ScannedMessage], list[int]]] = field(
+        default_factory=dict
+    )
+    #: patterns mined from the length partitions (AnalyzeStage), before
+    #: the save threshold is applied
+    discovered: list[Pattern] = field(default_factory=list)
+    #: discovered patterns that cleared the threshold and were persisted
+    new_patterns: list[Pattern] = field(default_factory=list)
+    n_below_threshold: int = 0
+    max_trie_nodes: int = 0
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+
+class Stage:
+    """One step of the Fig. 2 workflow over a :class:`ServiceBatchContext`.
+
+    Stages are constructed once per engine and bound to the owning
+    miner; ``run`` mutates the context in place.
+    """
+
+    name: str = "stage"
+
+    def __init__(self, rtg: "SequenceRTG") -> None:
+        self.rtg = rtg
+
+    def run(self, ctx: ServiceBatchContext) -> None:
+        raise NotImplementedError
+
+
+class ScanStage(Stage):
+    """Tokenize the group — deduplicated through the fast lane when on."""
+
+    name = "scan"
+
+    def run(self, ctx: ServiceBatchContext) -> None:
+        rtg = self.rtg
+        if rtg.config.enable_fastpath:
+            ctx.scanned, ctx.counts, ctx.from_cache = rtg.fastpath.scan_group(
+                rtg.scanner, ctx.service, ctx.records
+            )
+        else:
+            ctx.scanned = [
+                rtg.scanner.scan(r.message, service=ctx.service)
+                for r in ctx.records
+            ]
+
+
+class ParseStage(Stage):
+    """Match scanned messages against the service's known patterns.
+
+    "If a match is found the last matched date and the number of
+    examples ... are adjusted accordingly and no further processing
+    occurs" (paper §III) — the adjustments are tallied here and written
+    by :class:`PersistStage`.
+    """
+
+    name = "parse"
+
+    def run(self, ctx: ServiceBatchContext) -> None:
+        rtg = self.rtg
+        parser = rtg.parser_for(ctx.service)
+        lane = rtg.fastpath if rtg.config.enable_fastpath else None
+        example_cap = rtg.db.max_examples
+        have_patterns = len(parser) > 0
+        counts, from_cache = ctx.counts, ctx.from_cache
+        for i, msg in enumerate(ctx.scanned):
+            n = 1 if counts is None else counts[i]
+            if have_patterns:
+                # the match cache is only worth its signature cost for
+                # messages that recur across batches — exactly the ones
+                # the scan cache already served
+                hit = (
+                    lane.match(ctx.service, parser, msg)
+                    if from_cache is not None and from_cache[i]
+                    else parser.match(msg)
+                )
+            else:
+                hit = None
+            if hit is None:
+                ctx.unmatched.append(msg)
+                ctx.unmatched_counts.append(n)
+            else:
+                pid = hit.pattern.id
+                ctx.match_counts[pid] = ctx.match_counts.get(pid, 0) + n
+                examples = ctx.match_examples.setdefault(pid, [])
+                # accumulate only what the DB can store: the first
+                # `max_examples` distinct originals
+                if len(examples) < example_cap and msg.original not in examples:
+                    examples.append(msg.original)
+
+
+class LengthPartitionStage(Stage):
+    """Second partitioning: group unmatched messages by token count.
+
+    "Only token sets of the same length are compared in the same
+    analysis trie" (paper §III).
+    """
+
+    name = "partition_length"
+
+    def run(self, ctx: ServiceBatchContext) -> None:
+        for msg, n in zip(ctx.unmatched, ctx.unmatched_counts):
+            msgs, ns = ctx.by_length.setdefault(msg.token_count(), ([], []))
+            msgs.append(msg)
+            ns.append(n)
+
+
+class AnalyzeStage(Stage):
+    """Mine each length partition in its own analysis trie."""
+
+    name = "analyze"
+
+    def __init__(self, rtg: "SequenceRTG") -> None:
+        super().__init__(rtg)
+        self._analyzer = Analyzer(rtg.config.analyzer)
+
+    def run(self, ctx: ServiceBatchContext) -> None:
+        analyzer = self._analyzer
+        weighted = ctx.counts is not None
+        for _, (partition, partition_counts) in sorted(ctx.by_length.items()):
+            patterns = analyzer.analyze(
+                partition, counts=partition_counts if weighted else None
+            )
+            ctx.max_trie_nodes = max(ctx.max_trie_nodes, analyzer.last_trie_nodes)
+            for pattern in patterns:
+                pattern.service = ctx.service
+                ctx.discovered.append(pattern)
+
+
+class PersistStage(Stage):
+    """Write the batch's outcome: match statistics, then new patterns.
+
+    "The newly found patterns are eventually saved in the database for
+    comparison against subsequent batches and exporting" (paper §III).
+    The save threshold applies here; everything for one service commits
+    as a single transaction.  Worker processes substitute
+    :class:`repro.core.parallel.DeltaPersistStage`, which targets the
+    worker's private database and accumulates the delta reply.
+    """
+
+    name = "persist"
+
+    def run(self, ctx: ServiceBatchContext) -> None:
+        rtg = self.rtg
+        db = rtg.db
+        parser = rtg.parser_for(ctx.service)
+        threshold = rtg.config.save_threshold
+        with db.transaction():
+            db.record_matches(ctx.match_counts, now=ctx.now)
+            for pid, examples in ctx.match_examples.items():
+                for example in examples:
+                    db.add_example(pid, example)
+            for pattern in ctx.discovered:
+                if pattern.support < threshold:
+                    ctx.n_below_threshold += 1
+                    continue
+                db.upsert(pattern, now=ctx.now)
+                # in-place extension; the parser's version bump
+                # invalidates this service's match cache
+                parser.add_pattern(pattern)
+                ctx.new_patterns.append(pattern)
+
+
+# ----------------------------------------------------------------------
+# Observers
+# ----------------------------------------------------------------------
+
+class StageObserver:
+    """Instrumentation hooks around the engine's execution.
+
+    Subclass and override what you need; all hooks default to no-ops.
+    One batch produces ``on_batch_start``, then for every service group
+    a paired ``on_stage_start``/``on_stage_end`` per stage in workflow
+    order, then ``on_batch_end`` — the single place per-batch telemetry
+    is folded into the :class:`BatchResult`.
+    """
+
+    def on_batch_start(self, result: BatchResult) -> None:
+        """Called once before any stage runs."""
+
+    def on_stage_start(self, stage: str, ctx: ServiceBatchContext) -> None:
+        """Called immediately before *stage* runs on *ctx*."""
+
+    def on_stage_end(self, stage: str, ctx: ServiceBatchContext) -> None:
+        """Called immediately after *stage* ran on *ctx*."""
+
+    def on_batch_end(self, result: BatchResult) -> None:
+        """Called once after the last stage; fill *result* here."""
+
+
+class TimingObserver(StageObserver):
+    """Per-stage wall-clock timings → ``BatchResult.timings``.
+
+    Replaces the pipeline's inline ``StageTimer`` blocks: the timer is
+    reset per batch and driven purely by the stage events, so its
+    per-stage counts equal the number of stage executions.
+    """
+
+    def __init__(self, timer: StageTimer | None = None) -> None:
+        self.timer = timer or StageTimer()
+
+    def on_batch_start(self, result: BatchResult) -> None:
+        self.timer.reset()
+
+    def on_stage_start(self, stage: str, ctx: ServiceBatchContext) -> None:
+        self.timer.begin(stage)
+
+    def on_stage_end(self, stage: str, ctx: ServiceBatchContext) -> None:
+        self.timer.end(stage)
+
+    def on_batch_end(self, result: BatchResult) -> None:
+        result.timings = self.timer.report()
+
+
+class FastPathObserver(StageObserver):
+    """Fast-lane cache effectiveness → ``BatchResult.cache``.
+
+    Snapshots the lane's cumulative counters at batch start and
+    publishes the per-batch delta; a counter that first appears
+    mid-batch deltas against zero instead of raising.
+    """
+
+    def __init__(self, lane: FastPath) -> None:
+        self.lane = lane
+        self._before: dict[str, int] = {}
+
+    def on_batch_start(self, result: BatchResult) -> None:
+        self._before = self.lane.snapshot()
+
+    def on_batch_end(self, result: BatchResult) -> None:
+        result.cache = FastPath.snapshot_delta(self._before, self.lane.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+def default_observers(rtg: "SequenceRTG") -> list[StageObserver]:
+    """The serial driver's instrumentation: timings, plus cache deltas
+    when the fast lane is enabled."""
+    observers: list[StageObserver] = [TimingObserver()]
+    if rtg.config.enable_fastpath:
+        observers.append(FastPathObserver(rtg.fastpath))
+    return observers
+
+
+class MiningEngine:
+    """Drive one batch through the staged Fig. 2 workflow.
+
+    Partitions the batch by service ("a first partitioning of the data
+    which groups the log records into subsets by service") and runs
+    every group through scan → parse → partition-by-length → analyse →
+    persist, notifying *observers* around each stage.  *persist*
+    substitutes the persistence seam — the only stage the execution
+    paths (serial, cold shard, warm worker) differ in.
+    """
+
+    def __init__(
+        self,
+        rtg: "SequenceRTG",
+        observers: list[StageObserver] | None = None,
+        persist: PersistStage | None = None,
+    ) -> None:
+        self.rtg = rtg
+        self.observers: list[StageObserver] = (
+            default_observers(rtg) if observers is None else list(observers)
+        )
+        self.stages: list[Stage] = [
+            ScanStage(rtg),
+            ParseStage(rtg),
+            LengthPartitionStage(rtg),
+            AnalyzeStage(rtg),
+            persist or PersistStage(rtg),
+        ]
+
+    def run(
+        self, records: list[LogRecord], now: datetime | None = None
+    ) -> BatchResult:
+        """Execute the workflow over one batch of records."""
+        result = BatchResult(n_records=len(records))
+        observers = self.observers
+        for observer in observers:
+            observer.on_batch_start(result)
+
+        by_service: dict[str, list[LogRecord]] = {}
+        for record in records:
+            by_service.setdefault(record.service, []).append(record)
+        result.n_services = len(by_service)
+
+        for service, group in by_service.items():
+            ctx = ServiceBatchContext(service=service, records=group, now=now)
+            for stage in self.stages:
+                for observer in observers:
+                    observer.on_stage_start(stage.name, ctx)
+                stage.run(ctx)
+                for observer in observers:
+                    observer.on_stage_end(stage.name, ctx)
+            result.n_matched += sum(ctx.match_counts.values())
+            result.n_unmatched += sum(ctx.unmatched_counts)
+            result.n_partitions += len(ctx.by_length)
+            result.n_below_threshold += ctx.n_below_threshold
+            result.max_trie_nodes = max(result.max_trie_nodes, ctx.max_trie_nodes)
+            result.n_new_patterns += len(ctx.new_patterns)
+            result.new_patterns.extend(ctx.new_patterns)
+
+        for observer in observers:
+            observer.on_batch_end(result)
+        return result
+
+
+# ----------------------------------------------------------------------
+# Stream driving
+# ----------------------------------------------------------------------
+
+def drive_stream(miner, batches, now: datetime | None = None):
+    """Run ``analyze_by_service`` for every batch; yield the results.
+
+    The one stream driver behind every front end's ``process_stream``:
+    *miner* is anything with an ``analyze_by_service(records, now=...)``
+    — the serial :class:`~repro.core.pipeline.SequenceRTG` or either
+    worker pool — and *batches* is any iterable of record lists,
+    typically :meth:`repro.core.ingest.StreamIngester.batches` or
+    ``batches_pipelined``.
+    """
+    for batch in batches:
+        yield miner.analyze_by_service(batch, now=now)

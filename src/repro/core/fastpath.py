@@ -309,6 +309,18 @@ class FastPath:
             self.invalidate_service(service)
 
     # -- telemetry -------------------------------------------------------
+    @staticmethod
+    def snapshot_delta(
+        before: dict[str, int], after: dict[str, int]
+    ) -> dict[str, int]:
+        """Per-batch counter delta between two :meth:`snapshot` calls.
+
+        A counter present only in *after* (a key gained mid-batch, e.g.
+        by a newer telemetry field) deltas against zero instead of
+        raising ``KeyError``.
+        """
+        return {k: v - before.get(k, 0) for k, v in after.items()}
+
     def snapshot(self) -> dict[str, int]:
         """Cumulative counters; diff two snapshots for per-batch telemetry."""
         scan = self._scan

@@ -7,7 +7,12 @@ AnalyzeByService method.  In this case each instance could have its own
 database as there is no crossover with patterns between different
 services." (paper §IV)
 
-Two implementations of that sharding live here:
+Every worker runs the exact same staged
+:class:`~repro.core.engine.MiningEngine` as the serial front end — the
+only substitution is the persistence seam: :class:`DeltaPersistStage`
+writes the worker's *private* database and accumulates the delta reply
+(new patterns, match-count diffs) the parent merges into the shared
+database.  Two pool front ends drive that engine:
 
 * :class:`PersistentParallelSequenceRTG` — the production engine.  A
   pool of long-lived worker processes, each owning a private
@@ -41,16 +46,27 @@ import multiprocessing
 import pickle
 import zlib
 from dataclasses import dataclass, field
+from datetime import datetime
 
+from repro.analyzer.pattern import Pattern
 from repro.core.config import RTGConfig
+from repro.core.engine import (
+    BatchResult,
+    MiningEngine,
+    PersistStage,
+    ServiceBatchContext,
+    StageObserver,
+    drive_stream,
+)
 from repro.core.fastpath import PatternJournal
 from repro.core.patterndb import PatternDB
-from repro.core.pipeline import BatchResult, SequenceRTG
+from repro.core.pipeline import SequenceRTG
 from repro.core.records import LogRecord
 
 __all__ = [
     "ParallelSequenceRTG",
     "PersistentParallelSequenceRTG",
+    "DeltaPersistStage",
     "shard_records",
     "route_service",
 ]
@@ -89,6 +105,7 @@ class _ShardTask:
     records: list[LogRecord]
     config: RTGConfig
     known_patterns: list[dict]  # Pattern.to_dict() of relevant services
+    now: datetime | None = None
 
 
 @dataclass(slots=True)
@@ -107,64 +124,88 @@ class _ShardOutcome:
     timings: dict[str, float] = field(default_factory=dict)
 
 
-def _shard_outcome(
-    rtg: SequenceRTG,
-    reported: dict[str, int],
-    batch: BatchResult,
-    services: set[str],
-) -> _ShardOutcome:
-    """Diff the worker database against what was already reported.
+class DeltaPersistStage(PersistStage):
+    """Worker-side persistence seam of the staged engine.
 
-    Rows not in *reported* are new patterns; known rows whose count grew
-    report the delta as matches.  *reported* is advanced in place, so a
-    persistent worker reports each increment exactly once.  Only the
-    services touched by the batch are scanned — nothing else can have
+    Persists the service's batch outcome into the worker's *private*
+    database exactly like the serial :class:`PersistStage`, then diffs
+    that service's rows against what was already reported to (or
+    received from) the parent: rows not in *reported* are new patterns,
+    known rows whose count grew report the delta as matches.
+    *reported* is advanced in place, so a persistent worker reports
+    each increment exactly once across its lifetime.  Only services
+    touched by the batch are ever diffed — nothing else can have
     changed.
     """
-    match_counts: dict[str, int] = {}
-    match_examples: dict[str, list[str]] = {}
-    new_patterns: list[dict] = []
-    for service in sorted(services):
-        for row in rtg.db.rows(service=service):
+
+    name = "persist"
+
+    def __init__(self, rtg: SequenceRTG, reported: dict[str, int]) -> None:
+        super().__init__(rtg)
+        self.reported = reported
+        self.new_patterns: list[dict] = []
+        self.match_counts: dict[str, int] = {}
+        self.match_examples: dict[str, list[str]] = {}
+
+    def reset(self) -> None:
+        """Start a fresh per-batch delta (call before each engine run)."""
+        self.new_patterns = []
+        self.match_counts = {}
+        self.match_examples = {}
+
+    def run(self, ctx: ServiceBatchContext) -> None:
+        super().run(ctx)
+        reported = self.reported
+        for row in self.rtg.db.rows(service=ctx.service):
             previous = reported.get(row.id)
             if previous is None:
-                new_patterns.append(row.to_pattern().to_dict())
+                self.new_patterns.append(row.to_pattern().to_dict())
                 reported[row.id] = row.match_count
             elif row.match_count > previous:
-                match_counts[row.id] = row.match_count - previous
-                match_examples[row.id] = row.examples
+                self.match_counts[row.id] = row.match_count - previous
+                self.match_examples[row.id] = row.examples
                 reported[row.id] = row.match_count
-    return _ShardOutcome(
-        n_matched=batch.n_matched,
-        n_unmatched=batch.n_unmatched,
-        n_partitions=batch.n_partitions,
-        n_below_threshold=batch.n_below_threshold,
-        max_trie_nodes=batch.max_trie_nodes,
-        new_patterns=new_patterns,
-        match_counts=match_counts,
-        match_examples=match_examples,
-        cache=batch.cache,
-        timings=batch.timings,
+
+    def outcome(self, batch: BatchResult) -> _ShardOutcome:
+        """The delta reply for the batch *batch* summarised."""
+        return _ShardOutcome(
+            n_matched=batch.n_matched,
+            n_unmatched=batch.n_unmatched,
+            n_partitions=batch.n_partitions,
+            n_below_threshold=batch.n_below_threshold,
+            max_trie_nodes=batch.max_trie_nodes,
+            new_patterns=self.new_patterns,
+            match_counts=self.match_counts,
+            match_examples=self.match_examples,
+            cache=batch.cache,
+            timings=batch.timings,
+        )
+
+
+def _worker_engine(
+    config: RTGConfig,
+) -> tuple[SequenceRTG, DeltaPersistStage, MiningEngine]:
+    """One worker's private miner on the shared staged engine.
+
+    The same :class:`MiningEngine` the serial path runs — same stages,
+    same default observers — with :class:`DeltaPersistStage` substituted
+    as the persistence seam.
+    """
+    rtg = SequenceRTG(
+        db=PatternDB(max_examples=config.max_examples), config=config
     )
+    persist = DeltaPersistStage(rtg, reported={})
+    return rtg, persist, MiningEngine(rtg, persist=persist)
 
 
 def _analyze_shard(task: _ShardTask) -> _ShardOutcome:
-    """Run one throwaway Sequence-RTG instance over a service shard."""
-    from repro.analyzer.pattern import Pattern
-
-    rtg = SequenceRTG(
-        db=PatternDB(max_examples=task.config.max_examples), config=task.config
-    )
-    reported: dict[str, int] = {}
+    """Run one throwaway staged engine over a service shard."""
+    rtg, persist, engine = _worker_engine(task.config)
     for pattern_dict in task.known_patterns:
         pattern = Pattern.from_dict(pattern_dict)
         rtg.db.upsert(pattern)
-        reported[pattern.id] = pattern.support
-
-    result = rtg.analyze_by_service(task.records)
-    return _shard_outcome(
-        rtg, reported, result, {r.service for r in task.records}
-    )
+        persist.reported[pattern.id] = pattern.support
+    return persist.outcome(engine.run(task.records, now=task.now))
 
 
 class _DisjointMerge:
@@ -227,22 +268,23 @@ class ParallelSequenceRTG:
                 out.append(pattern.to_dict())
         return out
 
-    def analyze_by_service(self, records: list[LogRecord]) -> BatchResult:
+    def analyze_by_service(
+        self, records: list[LogRecord], now: datetime | None = None
+    ) -> BatchResult:
         """Analyse one batch across a fresh worker pool and merge results."""
-        from repro.analyzer.pattern import Pattern
-
         shards = [s for s in shard_records(records, self.n_workers) if s]
         if len(shards) <= 1:
             # degenerate case: run in-process on the shared database via
             # the persistent instance — no shipping patterns to a worker,
             # no rebuilding parsers from scratch, warm caches throughout
-            return self._local.analyze_by_service(records)
+            return self._local.analyze_by_service(records, now=now)
 
         tasks = [
             _ShardTask(
                 records=shard,
                 config=self.config,
                 known_patterns=self._known_for({r.service for r in shard}),
+                now=now,
             )
             for shard in shards
         ]
@@ -275,15 +317,20 @@ class ParallelSequenceRTG:
                 guard.claim(pattern.id, shard_index)
                 # upsert + in-place parser extension: the local instance
                 # keeps serving without rebuilding its parsers
-                self._local.add_known_pattern(pattern)
+                self._local.add_known_pattern(pattern, now=now)
                 result.n_new_patterns += 1
                 result.new_patterns.append(pattern)
             for pid, n in outcome.match_counts.items():
                 guard.claim(pid, shard_index)
-                self.db.record_match(pid, n=n)
+                self.db.record_match(pid, n=n, now=now)
                 for example in outcome.match_examples.get(pid, ()):
                     self.db.add_example(pid, example)
         return result
+
+    # ------------------------------------------------------------------
+    def process_stream(self, batches, now: datetime | None = None):
+        """Run ``analyze_by_service`` for every batch; yield results."""
+        return drive_stream(self, batches, now=now)
 
 
 # ----------------------------------------------------------------------
@@ -293,23 +340,21 @@ class ParallelSequenceRTG:
 def _worker_main(conn, config: RTGConfig) -> None:
     """Loop of one long-lived worker process.
 
-    Owns a private :class:`SequenceRTG` over an in-memory database for
-    its sticky services.  Protocol (one pickled message per request):
+    Owns a private staged engine (:func:`_worker_engine`) over an
+    in-memory database for its sticky services.  Protocol (one pickled
+    message per request):
 
     * ``("sync", patterns)`` — absorb pattern dicts into the private DB
       and parser (no reply).  Sent at spawn (replay from the shared DB)
       and never again for patterns this worker reported itself.
-    * ``("batch", records, patterns)`` — absorb the delta *patterns*,
-      analyse *records*, reply with a :class:`_ShardOutcome` of deltas.
+    * ``("batch", records, patterns, now)`` — absorb the delta
+      *patterns*, analyse *records* stamped with *now*, reply with a
+      :class:`_ShardOutcome` of deltas.
     * ``("stop",)`` — exit.
     """
-    from repro.analyzer.pattern import Pattern
-
-    rtg = SequenceRTG(
-        db=PatternDB(max_examples=config.max_examples), config=config
-    )
+    rtg, persist, engine = _worker_engine(config)
     #: match_count already reported to (or received from) the parent
-    reported: dict[str, int] = {}
+    reported = persist.reported
 
     def absorb(pattern_dicts: list[dict]) -> None:
         for pattern_dict in pattern_dicts:
@@ -327,12 +372,10 @@ def _worker_main(conn, config: RTGConfig) -> None:
         if message[0] == "sync":
             absorb(message[1])
             continue
-        _, records, sync = message
+        _, records, sync, now = message
         absorb(sync)
-        batch = rtg.analyze_by_service(records)
-        outcome = _shard_outcome(
-            rtg, reported, batch, {r.service for r in records}
-        )
+        persist.reset()
+        outcome = persist.outcome(engine.run(records, now=now))
         try:
             conn.send(outcome)
         except (BrokenPipeError, OSError):
@@ -351,6 +394,50 @@ class _WorkerHandle:
     cursor: int
     #: services this worker has been sent (sticky-routing telemetry)
     services: set[str] = field(default_factory=set)
+
+
+class _PoolTelemetry(StageObserver):
+    """Per-batch pool counters → ``BatchResult.pool``.
+
+    The parent feeds dispatch events in during the batch; spawn and
+    seed counters are read from the engine's cumulative telemetry.
+    Publishing through the :class:`StageObserver` channel keeps the
+    pool's telemetry on the same path as the stage timings and cache
+    deltas the in-worker engines report.
+    """
+
+    def __init__(self, telemetry: dict[str, int]) -> None:
+        self._telemetry = telemetry
+        self._spawns_before = 0
+        self._respawns_before = 0
+        self.workers = 0
+        self.sync_patterns = 0
+        self.sync_bytes = 0
+
+    def on_batch_start(self, result: BatchResult) -> None:
+        self._spawns_before = self._telemetry["spawns"]
+        self._respawns_before = self._telemetry["respawns"]
+        self.workers = 0
+        self.sync_patterns = 0
+        self.sync_bytes = 0
+
+    def dispatched(self, sync_patterns: int, sync_bytes: int) -> None:
+        """One shard dispatched with a delta-sync payload of this size."""
+        self.workers += 1
+        self.sync_patterns += sync_patterns
+        self.sync_bytes += sync_bytes
+
+    def on_batch_end(self, result: BatchResult) -> None:
+        telemetry = self._telemetry
+        result.pool = {
+            "workers": self.workers,
+            "spawns": telemetry["spawns"] - self._spawns_before,
+            "respawns": telemetry["respawns"] - self._respawns_before,
+            "sync_patterns": self.sync_patterns,
+            "sync_bytes": self.sync_bytes,
+            "seed_patterns": telemetry["seed_patterns"],
+            "seed_bytes": telemetry["seed_bytes"],
+        }
 
 
 class PersistentParallelSequenceRTG:
@@ -375,7 +462,9 @@ class PersistentParallelSequenceRTG:
     the interrupted shard is re-dispatched.
 
     Cumulative counters live in :attr:`telemetry`; per-batch values are
-    published as ``BatchResult.pool``.
+    published as ``BatchResult.pool`` by a pool-side
+    :class:`~repro.core.engine.StageObserver` (extend
+    :attr:`observers` for custom per-batch instrumentation).
     """
 
     def __init__(
@@ -411,6 +500,10 @@ class PersistentParallelSequenceRTG:
             "seed_patterns": 0,
             "seed_bytes": 0,
         }
+        self._pool_telemetry = _PoolTelemetry(self.telemetry)
+        #: batch-level observers (``BatchResult.pool`` publisher by
+        #: default); stage-level hooks fire inside the workers
+        self.observers: list[StageObserver] = [self._pool_telemetry]
 
     # -- lifecycle -------------------------------------------------------
     def __enter__(self) -> "PersistentParallelSequenceRTG":
@@ -534,15 +627,16 @@ class PersistentParallelSequenceRTG:
         return pid
 
     # -- analysis --------------------------------------------------------
-    def analyze_by_service(self, records: list[LogRecord]) -> BatchResult:
+    def analyze_by_service(
+        self, records: list[LogRecord], now: datetime | None = None
+    ) -> BatchResult:
         """Analyse one batch across the persistent pool and merge results."""
         if self._closed:
             raise RuntimeError("engine is closed")
         result = BatchResult(n_records=len(records))
         result.n_services = len({r.service for r in records})
-        spawns_before = self.telemetry["spawns"]
-        respawns_before = self.telemetry["respawns"]
-        sync_patterns = sync_bytes = 0
+        for observer in self.observers:
+            observer.on_batch_start(result)
 
         dispatched: list[tuple[_WorkerHandle, list[LogRecord]]] = []
         for index, shard in enumerate(shard_records(records, self.n_workers)):
@@ -551,15 +645,15 @@ class PersistentParallelSequenceRTG:
             handle = self._ensure_worker(index)
             handle.services.update(r.service for r in shard)
             sync = self._delta_for(handle)
-            if sync:
-                sync_patterns += len(sync)
-                sync_bytes += len(pickle.dumps(sync))
             try:
-                handle.conn.send(("batch", shard, sync))
+                handle.conn.send(("batch", shard, sync, now))
             except (BrokenPipeError, OSError):
                 # died since the liveness check; replay and re-dispatch
                 handle = self._respawn_after_failure(handle)
-                handle.conn.send(("batch", shard, self._delta_for(handle)))
+                handle.conn.send(("batch", shard, self._delta_for(handle), now))
+            self._pool_telemetry.dispatched(
+                len(sync), len(pickle.dumps(sync)) if sync else 0
+            )
             dispatched.append((handle, shard))
 
         if self._post_dispatch_hook is not None:
@@ -576,30 +670,24 @@ class PersistentParallelSequenceRTG:
                 # exactly (the replayed state is the worker's last
                 # merged state).
                 handle = self._respawn_after_failure(handle)
-                handle.conn.send(("batch", shard, self._delta_for(handle)))
+                handle.conn.send(("batch", shard, self._delta_for(handle), now))
                 outcome = handle.conn.recv()
             outcomes.append((handle.index, outcome))
 
-        self._merge(outcomes, result)
+        self._merge(outcomes, result, now=now)
         self.telemetry["batches"] += 1
-        self.telemetry["sync_patterns"] += sync_patterns
-        self.telemetry["sync_bytes"] += sync_bytes
-        result.pool = {
-            "workers": len(dispatched),
-            "spawns": self.telemetry["spawns"] - spawns_before,
-            "respawns": self.telemetry["respawns"] - respawns_before,
-            "sync_patterns": sync_patterns,
-            "sync_bytes": sync_bytes,
-            "seed_patterns": self.telemetry["seed_patterns"],
-            "seed_bytes": self.telemetry["seed_bytes"],
-        }
+        self.telemetry["sync_patterns"] += self._pool_telemetry.sync_patterns
+        self.telemetry["sync_bytes"] += self._pool_telemetry.sync_bytes
+        for observer in self.observers:
+            observer.on_batch_end(result)
         return result
 
     def _merge(
-        self, outcomes: list[tuple[int, _ShardOutcome]], result: BatchResult
+        self,
+        outcomes: list[tuple[int, _ShardOutcome]],
+        result: BatchResult,
+        now: datetime | None = None,
     ) -> None:
-        from repro.analyzer.pattern import Pattern
-
         guard = _DisjointMerge()
         for shard_index, outcome in outcomes:
             result.n_matched += outcome.n_matched
@@ -618,7 +706,7 @@ class PersistentParallelSequenceRTG:
             for pattern_dict in outcome.new_patterns:
                 pattern = Pattern.from_dict(pattern_dict)
                 guard.claim(pattern.id, shard_index)
-                self._local.add_known_pattern(pattern)
+                self._local.add_known_pattern(pattern, now=now)
                 self._journal.append(
                     pattern.service, pattern_dict, origin=shard_index
                 )
@@ -626,12 +714,12 @@ class PersistentParallelSequenceRTG:
                 result.new_patterns.append(pattern)
             for pid, n in outcome.match_counts.items():
                 guard.claim(pid, shard_index)
-                self.db.record_match(pid, n=n)
+                self.db.record_match(pid, n=n, now=now)
                 for example in outcome.match_examples.get(pid, ()):
                     self.db.add_example(pid, example)
 
     # ------------------------------------------------------------------
-    def process_stream(self, batches):
+    def process_stream(self, batches, now: datetime | None = None):
         """Run ``analyze_by_service`` for every batch; yield results.
 
         *batches* is any iterable of record lists — typically
@@ -639,5 +727,4 @@ class PersistentParallelSequenceRTG:
         ingest of batch *N+1* overlaps analysis of batch *N* while the
         workers overlap each other within every batch.
         """
-        for batch in batches:
-            yield self.analyze_by_service(batch)
+        return drive_stream(self, batches, now=now)

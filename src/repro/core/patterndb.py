@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+from contextlib import contextmanager
 from dataclasses import dataclass
 from datetime import datetime, timezone
 
@@ -85,9 +86,46 @@ class PatternDB:
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
         self.max_examples = max_examples
+        self._tx_depth = 0
 
     def close(self) -> None:
         self._conn.close()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def transaction(self):
+        """Batch many writes into one commit.
+
+        Inside the block every write method (:meth:`upsert`,
+        :meth:`add_example`, :meth:`record_match`, ...) defers its
+        commit; the block commits once on success and rolls everything
+        back on error.  Nesting is allowed — the outermost block owns
+        the commit.  ``PersistStage`` wraps each service's batch
+        outcome in one transaction, so a batch costs one fsync per
+        touched service instead of one per row.
+        """
+        if self._tx_depth:
+            self._tx_depth += 1
+            try:
+                yield self
+            finally:
+                self._tx_depth -= 1
+            return
+        self._tx_depth = 1
+        try:
+            yield self
+        except BaseException:
+            self._conn.rollback()
+            raise
+        else:
+            self._conn.commit()
+        finally:
+            self._tx_depth = 0
+
+    def _commit(self) -> None:
+        """Commit now, unless an enclosing :meth:`transaction` owns it."""
+        if not self._tx_depth:
+            self._conn.commit()
 
     def __enter__(self) -> "PatternDB":
         return self
@@ -152,13 +190,13 @@ class PatternDB:
             )
         for example in pattern.examples:
             self._add_example(pid, example)
-        self._conn.commit()
+        self._commit()
         return pid
 
     def add_example(self, pattern_id: str, message: str) -> None:
         """Store *message* as an example of the pattern if new and under cap."""
         self._add_example(pattern_id, message)
-        self._conn.commit()
+        self._commit()
 
     def _add_example(self, pattern_id: str, message: str) -> None:
         rows = self._conn.execute(
@@ -186,7 +224,27 @@ class PatternDB:
             " WHERE id = ?",
             (n, now.isoformat(), pattern_id),
         )
-        self._conn.commit()
+        self._commit()
+
+    def record_matches(
+        self, counts: dict[str, int], now: datetime | None = None
+    ) -> None:
+        """Bump many patterns' match statistics in one ``executemany``.
+
+        *counts* maps pattern id to the number of new matches; all rows
+        share one last-matched stamp.  Equivalent to calling
+        :meth:`record_match` per id, minus the per-row statement and
+        commit overhead.
+        """
+        if not counts:
+            return
+        stamp = (now or _utcnow()).isoformat()
+        self._conn.executemany(
+            "UPDATE patterns SET match_count = match_count + ?, last_matched = ?"
+            " WHERE id = ?",
+            [(n, stamp, pid) for pid, n in counts.items()],
+        )
+        self._commit()
 
     # ------------------------------------------------------------------
     def services(self) -> list[str]:
@@ -257,7 +315,7 @@ class PatternDB:
         self._conn.execute(
             "DELETE FROM examples WHERE pattern_id NOT IN (SELECT id FROM patterns)"
         )
-        self._conn.commit()
+        self._commit()
         return cur.rowcount
 
     # ------------------------------------------------------------------
@@ -274,11 +332,12 @@ class PatternDB:
         Returns the number of patterns folded in.
         """
         n = 0
-        for row in other.rows():
-            pattern = row.to_pattern()
-            pattern.support = row.match_count
-            self.upsert(pattern)
-            n += 1
+        with self.transaction():
+            for row in other.rows():
+                pattern = row.to_pattern()
+                pattern.support = row.match_count
+                self.upsert(pattern)
+                n += 1
         return n
 
     def dump(self) -> list[dict]:
@@ -304,12 +363,13 @@ class PatternDB:
     def from_dump(cls, dump: list[dict], path: str = ":memory:") -> "PatternDB":
         """Rebuild a database from :meth:`dump` output."""
         db = cls(path)
-        for entry in dump:
-            pattern = Pattern.from_dict(entry["tokens"])
-            pattern.service = entry["service"]
-            pattern.support = entry["match_count"]
-            pattern.examples = list(entry["examples"])
-            db.upsert(pattern)
+        with db.transaction():
+            for entry in dump:
+                pattern = Pattern.from_dict(entry["tokens"])
+                pattern.service = entry["service"]
+                pattern.support = entry["match_count"]
+                pattern.examples = list(entry["examples"])
+                db.upsert(pattern)
         return db
 
     def counts(self) -> dict[str, int]:

@@ -1,20 +1,11 @@
-"""The ``AnalyzeByService`` pipeline (paper Fig. 2) and legacy ``Analyze``.
+"""The ``AnalyzeByService`` front end (paper Fig. 2) and legacy ``Analyze``.
 
-Workflow, stage by stage, exactly as the paper draws it:
-
-1. **Partition by service** — "a first partitioning of the data which
-   groups the log records into subsets by service";
-2. **Scan** — tokenize the messages of each service group;
-3. **Parse known** — "these scanned messages are then sent to the
-   Sequence parser to see if they match an already known pattern.  If a
-   match is found the last matched date and the number of examples ...
-   are adjusted accordingly and no further processing occurs";
-4. **Partition by token count** — "a second partitioning of these
-   unmatched messages occurs based on count of tokens in the set.  Only
-   token sets of the same length are compared in the same analysis trie";
-5. **Analyse** — mine new patterns per partition;
-6. **Persist** — "the newly found patterns are eventually saved in the
-   database for comparison against subsequent batches and exporting."
+The workflow itself — service partition → scan → parse known → token
+count partition → per-trie analyse → persist — lives in
+:mod:`repro.core.engine` as explicit stage objects; this module owns the
+long-lived miner state those stages operate on (scanner, pattern
+database, per-service parser cache, fast lane) and the thin drivers
+around the engine.
 
 ``analyze_legacy`` reproduces the seminal single-trie ``Analyze`` method
 for the Fig. 5 comparison.
@@ -22,48 +13,19 @@ for the Fig. 5 comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from datetime import datetime
 
-from repro.analyzer.analyzer import Analyzer, LegacyAnalyzer
+from repro.analyzer.analyzer import LegacyAnalyzer
 from repro.analyzer.pattern import Pattern
 from repro.core.config import RTGConfig
+from repro.core.engine import BatchResult, MiningEngine, drive_stream
 from repro.core.fastpath import FastPath
 from repro.core.patterndb import PatternDB
 from repro.core.records import LogRecord
 from repro.parser.parser import Parser
-from repro.scanner.scanner import ScannedMessage, Scanner
-from repro._util.timers import StageTimer
+from repro.scanner.scanner import Scanner
 
 __all__ = ["SequenceRTG", "BatchResult"]
-
-
-@dataclass(slots=True)
-class BatchResult:
-    """Telemetry of one ``analyze_by_service`` execution."""
-
-    n_records: int = 0
-    n_services: int = 0
-    n_matched: int = 0  # parsed against already-known patterns
-    n_unmatched: int = 0  # sent on to the analyser
-    n_partitions: int = 0  # (service, token count) analysis partitions
-    n_new_patterns: int = 0  # newly discovered and persisted
-    n_below_threshold: int = 0  # discovered but under the save threshold
-    max_trie_nodes: int = 0  # memory telemetry (largest analysis trie)
-    timings: dict[str, float] = field(default_factory=dict)
-    #: fast-lane effectiveness for this batch: scan/match cache hits,
-    #: misses and evictions plus dedup savings (empty when the fast lane
-    #: is disabled) — see :meth:`repro.core.fastpath.FastPath.snapshot`
-    cache: dict[str, int] = field(default_factory=dict)
-    #: worker-pool telemetry for this batch (empty for in-process runs):
-    #: workers used, spawns/respawns, delta-sync and replay payloads —
-    #: see :class:`repro.core.parallel.PersistentParallelSequenceRTG`
-    pool: dict[str, int] = field(default_factory=dict)
-    new_patterns: list[Pattern] = field(default_factory=list)
-
-    @property
-    def matched_fraction(self) -> float:
-        return self.n_matched / self.n_records if self.n_records else 0.0
 
 
 class SequenceRTG:
@@ -71,8 +33,11 @@ class SequenceRTG:
 
     A :class:`SequenceRTG` instance owns one scanner, one pattern
     database and a per-service parser cache.  ``analyze_by_service``
-    processes one batch; :meth:`process_stream` drives batches from an
-    ingester for continuous operation.
+    processes one batch on the staged
+    :class:`~repro.core.engine.MiningEngine`; :meth:`process_stream`
+    drives batches from an ingester for continuous operation.  Extra
+    per-stage instrumentation plugs into ``self.engine.observers``
+    (see :class:`~repro.core.engine.StageObserver`).
     """
 
     def __init__(
@@ -85,6 +50,7 @@ class SequenceRTG:
         self.fastpath = FastPath(
             self.config.scan_cache_size, self.config.match_cache_size
         )
+        self.engine = MiningEngine(self)
 
     # ------------------------------------------------------------------
     def parser_for(self, service: str) -> Parser:
@@ -135,115 +101,7 @@ class SequenceRTG:
         mined output is identical either way; ``result.cache`` reports
         the lane's effectiveness.
         """
-        result = BatchResult(n_records=len(records))
-        timer = StageTimer()
-        lane = self.fastpath if self.config.enable_fastpath else None
-        cache_before = lane.snapshot() if lane is not None else None
-        example_cap = self.db.max_examples
-
-        # 1. first partitioning: group by service
-        with timer.stage("partition_service"):
-            by_service: dict[str, list[LogRecord]] = {}
-            for record in records:
-                by_service.setdefault(record.service, []).append(record)
-        result.n_services = len(by_service)
-
-        analyzer = Analyzer(self.config.analyzer)
-        for service, group in by_service.items():
-            # 2. scan (deduplicated: one scan per distinct message)
-            with timer.stage("scan"):
-                if lane is not None:
-                    scanned, counts, from_cache = lane.scan_group(
-                        self.scanner, service, group
-                    )
-                else:
-                    scanned = [
-                        self.scanner.scan(r.message, service=service) for r in group
-                    ]
-                    counts = None
-                    from_cache = None
-
-            # 3. parse against already known patterns
-            parser = self.parser_for(service)
-            unmatched: list[ScannedMessage] = []
-            unmatched_counts: list[int] = []
-            with timer.stage("parse"):
-                match_counts: dict[str, int] = {}
-                match_examples: dict[str, list[str]] = {}
-                have_patterns = len(parser) > 0
-                for i, msg in enumerate(scanned):
-                    n = 1 if counts is None else counts[i]
-                    if have_patterns:
-                        # the match cache is only worth its signature
-                        # cost for messages that recur across batches —
-                        # exactly the ones the scan cache already served
-                        hit = (
-                            lane.match(service, parser, msg)
-                            if from_cache is not None and from_cache[i]
-                            else parser.match(msg)
-                        )
-                    else:
-                        hit = None
-                    if hit is None:
-                        unmatched.append(msg)
-                        unmatched_counts.append(n)
-                    else:
-                        pid = hit.pattern.id
-                        match_counts[pid] = match_counts.get(pid, 0) + n
-                        examples = match_examples.setdefault(pid, [])
-                        # accumulate only what the DB can store: the
-                        # first `max_examples` distinct originals
-                        if (
-                            len(examples) < example_cap
-                            and msg.original not in examples
-                        ):
-                            examples.append(msg.original)
-            with timer.stage("db_update"):
-                for pid, n in match_counts.items():
-                    self.db.record_match(pid, n=n, now=now)
-                    for example in match_examples[pid]:
-                        self.db.add_example(pid, example)
-            result.n_matched += sum(match_counts.values())
-            result.n_unmatched += sum(unmatched_counts)
-
-            # 4. second partitioning: group unmatched by token count
-            with timer.stage("partition_length"):
-                by_length: dict[int, tuple[list[ScannedMessage], list[int]]] = {}
-                for msg, n in zip(unmatched, unmatched_counts):
-                    msgs, ns = by_length.setdefault(msg.token_count(), ([], []))
-                    msgs.append(msg)
-                    ns.append(n)
-            result.n_partitions += len(by_length)
-
-            # 5. analyse each partition in its own trie
-            for _, (partition, partition_counts) in sorted(by_length.items()):
-                with timer.stage("analyze"):
-                    patterns = analyzer.analyze(
-                        partition,
-                        counts=None if counts is None else partition_counts,
-                    )
-                result.max_trie_nodes = max(
-                    result.max_trie_nodes, analyzer.last_trie_nodes
-                )
-                # 6. persist discovered patterns (save threshold applies)
-                with timer.stage("db_save"):
-                    for pattern in patterns:
-                        pattern.service = service
-                        if pattern.support < self.config.save_threshold:
-                            result.n_below_threshold += 1
-                            continue
-                        self.db.upsert(pattern, now=now)
-                        # in-place extension; the parser's version bump
-                        # invalidates this service's match cache
-                        parser.add_pattern(pattern)
-                        result.n_new_patterns += 1
-                        result.new_patterns.append(pattern)
-
-        result.timings = timer.report()
-        if lane is not None:
-            after = lane.snapshot()
-            result.cache = {k: after[k] - cache_before[k] for k in after}
-        return result
+        return self.engine.run(records, now=now)
 
     # ------------------------------------------------------------------
     def analyze_legacy(self, records: list[LogRecord]) -> list[Pattern]:
@@ -266,5 +124,4 @@ class SequenceRTG:
         *batches* is any iterable of record lists — typically
         :meth:`repro.core.ingest.StreamIngester.batches`.
         """
-        for batch in batches:
-            yield self.analyze_by_service(batch, now=now)
+        return drive_stream(self, batches, now=now)

@@ -15,7 +15,7 @@ each word as IPv4, integer, float or literal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.scanner.hex_fsm import HexFSM
 from repro.scanner.path_fsm import PathFSM

@@ -18,7 +18,7 @@ does not trigger a thousand restarts.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Callable
 
 from repro.workflow.syslog_ng import RouteResult

@@ -164,6 +164,15 @@ class ProductionSimulation:
         analysis_seconds = 0.0
         cache_totals: dict[str, int] = {}
         index = f"logs-{day:03d}"
+        def analyze_batch(records: list[LogRecord]) -> None:
+            nonlocal n_batches, analysis_seconds
+            start = time.perf_counter()
+            batch_result = self.rtg.analyze_by_service(records)
+            analysis_seconds += time.perf_counter() - start
+            for key, value in batch_result.cache.items():
+                cache_totals[key] = cache_totals.get(key, 0) + value
+            n_batches += 1
+
         for record in self.stream.records(n_messages):
             routed = self.syslog.route(record)
             self.es.index(
@@ -184,20 +193,10 @@ class ProductionSimulation:
                 continue
             batch.append(record)
             if len(batch) >= self.config.batch_size:
-                start = time.perf_counter()
-                batch_result = self.rtg.analyze_by_service(batch)
-                analysis_seconds += time.perf_counter() - start
-                for key, value in batch_result.cache.items():
-                    cache_totals[key] = cache_totals.get(key, 0) + value
-                n_batches += 1
+                analyze_batch(batch)
                 batch = []
         if batch:
-            start = time.perf_counter()
-            batch_result = self.rtg.analyze_by_service(batch)
-            analysis_seconds += time.perf_counter() - start
-            for key, value in batch_result.cache.items():
-                cache_totals[key] = cache_totals.get(key, 0) + value
-            n_batches += 1
+            analyze_batch(batch)
 
         n_promoted = 0
         if day % self.config.review_every_days == 0:

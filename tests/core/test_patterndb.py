@@ -4,7 +4,7 @@ from datetime import datetime, timezone
 
 import pytest
 
-from repro.analyzer.pattern import Pattern, PatternToken, VarClass
+from repro.analyzer.pattern import Pattern, VarClass
 from repro.core.patterndb import PatternDB
 
 
@@ -155,3 +155,61 @@ class TestDiskPersistence:
         with PatternDB(path) as db2:
             (row,) = db2.rows()
             assert row.match_count == 7
+
+
+class TestRecordMatches:
+    def test_equivalent_to_per_id_record_match(self):
+        a, b = PatternDB(), PatternDB()
+        pids = []
+        for text in ("login %string% ok", "logout %string% ok"):
+            pids.append(a.upsert(make_pattern(text), now=T0))
+            b.upsert(make_pattern(text), now=T0)
+        counts = {pids[0]: 3, pids[1]: 7}
+        a.record_matches(counts, now=T1)
+        for pid, n in counts.items():
+            b.record_match(pid, n=n, now=T1)
+        assert a.dump() == b.dump()
+
+    def test_empty_counts_is_a_no_op(self):
+        db = PatternDB()
+        db.record_matches({}, now=T1)  # must not even open a statement
+        assert db.counts()["patterns"] == 0
+
+
+class TestTransaction:
+    def test_rollback_on_error(self, tmp_path):
+        path = str(tmp_path / "patterns.db")
+        db = PatternDB(path)
+        db.upsert(make_pattern("kept %integer%"), now=T0)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.upsert(make_pattern("doomed %integer%"), now=T0)
+                raise RuntimeError("boom")
+        db.close()
+        with PatternDB(path) as reopened:
+            (row,) = reopened.rows()
+            assert row.pattern_text == "kept %integer%"
+
+    def test_commit_deferred_until_block_exit(self, tmp_path):
+        path = str(tmp_path / "patterns.db")
+        db = PatternDB(path)
+        observer = PatternDB(path)  # separate connection, sees commits only
+        with db.transaction():
+            db.upsert(make_pattern(), now=T0)
+            assert observer.rows() == []
+        assert len(observer.rows()) == 1
+        observer.close()
+        db.close()
+
+    def test_nested_blocks_commit_once_at_outermost(self, tmp_path):
+        path = str(tmp_path / "patterns.db")
+        db = PatternDB(path)
+        observer = PatternDB(path)
+        with db.transaction():
+            with db.transaction():
+                db.upsert(make_pattern(), now=T0)
+            # inner exit must not commit: the outermost block owns it
+            assert observer.rows() == []
+        assert len(observer.rows()) == 1
+        observer.close()
+        db.close()

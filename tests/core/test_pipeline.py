@@ -30,7 +30,7 @@ class TestFirstBatch:
 
     def test_timings_and_trie_telemetry(self, rtg, ssh_records):
         result = rtg.analyze_by_service(ssh_records)
-        assert set(result.timings) >= {"scan", "parse", "analyze", "db_save"}
+        assert set(result.timings) >= {"scan", "parse", "analyze", "persist"}
         assert result.max_trie_nodes > 0
 
 

@@ -2,7 +2,6 @@
 
 import re
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.scanner import ScannedMessage, Scanner, ScannerConfig
