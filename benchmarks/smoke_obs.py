@@ -1,0 +1,85 @@
+"""Metrics-overhead smoke gate for CI.
+
+Runs the same duplicate-carrying stream twice through the serial miner —
+once with ``RTGConfig.enable_metrics`` on (the default) and once with it
+off — and fails if the instrumented run is more than 5% slower in
+batches/s.  The observability layer must stay invisible on the hot path:
+one histogram observation per stage per service group plus a handful of
+per-service counter increments.
+
+Writes the measurements to ``results/BENCH_obs.json``.
+
+Deliberately small (a few seconds end to end) — this is a regression
+tripwire, not a benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_obs.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import RTGConfig
+from repro.core.patterndb import PatternDB
+from repro.core.pipeline import SequenceRTG
+from repro.workflow.stream import ProductionStream, StreamConfig
+
+MAX_OVERHEAD = 0.05
+N_BATCHES = 12
+PER_BATCH = 2_000
+RESULTS = Path(__file__).parent.parent / "results" / "BENCH_obs.json"
+
+
+def batches_per_second(enable_metrics: bool) -> float:
+    stream = ProductionStream(
+        StreamConfig(n_services=40, seed=41, duplicate_fraction=0.5)
+    )
+    rtg = SequenceRTG(
+        db=PatternDB(), config=RTGConfig(enable_metrics=enable_metrics)
+    )
+    rtg.analyze_by_service(list(stream.records(4_000)))  # learn the stream
+    batches = [list(stream.records(PER_BATCH)) for _ in range(N_BATCHES)]
+    t0 = time.perf_counter()
+    for batch in batches:
+        rtg.analyze_by_service(batch)
+    return N_BATCHES / (time.perf_counter() - t0)
+
+
+def main() -> int:
+    # interleave A/B rounds so machine noise hits both sides evenly, and
+    # keep the best round per side (least-interference estimate)
+    on_rounds, off_rounds = [], []
+    for _ in range(3):
+        on_rounds.append(batches_per_second(True))
+        off_rounds.append(batches_per_second(False))
+    with_metrics, without_metrics = max(on_rounds), max(off_rounds)
+    overhead = 1.0 - with_metrics / without_metrics
+
+    ok = overhead <= MAX_OVERHEAD
+    report = {
+        "batches_per_s_metrics_on": round(with_metrics, 2),
+        "batches_per_s_metrics_off": round(without_metrics, 2),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_fraction": MAX_OVERHEAD,
+        "n_batches": N_BATCHES,
+        "records_per_batch": PER_BATCH,
+        "ok": ok,
+    }
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"metrics on: {with_metrics:.2f} batches/s, "
+        f"off: {without_metrics:.2f} batches/s, "
+        f"overhead: {overhead:+.2%} (gate: {MAX_OVERHEAD:.0%}) — "
+        f"{'OK' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,10 @@ Mirrors the production entry points of the tool:
 * ``sequence-rtg export`` — the ``ExportPatterns`` function: render the
   stored patterns as syslog-ng patterndb XML, YAML or Logstash Grok,
   with the review-selection filters;
-* ``sequence-rtg stats`` — database statistics.
+* ``sequence-rtg stats`` — database statistics;
+* ``sequence-rtg metrics`` — a point-in-time metrics snapshot of the
+  pattern database (Prometheus text or JSON); live scraping of a
+  running miner is ``serve --metrics-port``.
 """
 
 from __future__ import annotations
@@ -68,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable background ingest prefetch (parse batches inline)",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus metrics on http://127.0.0.1:PORT/metrics "
+        "while ingesting (0 = pick a free port)",
+    )
 
     mine = sub.add_parser("mine", help="mine patterns from a plain log file")
     mine.add_argument("input", help="log file, one message per line")
@@ -85,6 +96,16 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--max-complexity", type=float, default=1.0)
 
     sub.add_parser("stats", help="print database statistics")
+
+    metrics = sub.add_parser(
+        "metrics", help="point-in-time metrics snapshot of the pattern database"
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="output format (Prometheus text exposition or JSON)",
+    )
 
     prune = sub.add_parser(
         "prune", help="drop patterns below the save threshold (§IV limitations)"
@@ -157,6 +178,13 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             miner = rtg
+        metrics_server = None
+        if args.metrics_port is not None:
+            from repro.obs.server import MetricsServer
+
+            metrics_server = MetricsServer(miner.metrics, port=args.metrics_port)
+            metrics_server.start()
+            print(f"metrics: {metrics_server.url}", file=sys.stderr)
         ingester = StreamIngester(batch_size=args.batch_size)
         with _open_input(args.input) as stream:
             if args.no_pipeline:
@@ -175,6 +203,8 @@ def main(argv: list[str] | None = None) -> int:
             finally:
                 if miner is not rtg:
                     miner.close()
+                if metrics_server is not None:
+                    metrics_server.close()
         print(
             f"ingested {ingester.stats.n_records} records "
             f"({ingester.stats.n_malformed} malformed) in {ingester.stats.n_batches} batches",
@@ -246,6 +276,20 @@ def main(argv: list[str] | None = None) -> int:
         counts = db.counts()
         for table, n in counts.items():
             print(f"{table}: {n}")
+        return 0
+
+    if args.command == "metrics":
+        from repro.obs.exposition import render_prometheus
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.observer import observe_patterndb
+
+        registry = MetricsRegistry()
+        observe_patterndb(registry, PatternDB(args.db))
+        if args.format == "json":
+            json.dump(registry.to_dict(), sys.stdout, indent=2)
+            print()
+        else:
+            sys.stdout.write(render_prometheus(registry))
         return 0
 
     if args.command == "prune":

@@ -42,6 +42,12 @@ class RTGConfig:
     #: entries kept per service in the token-signature match cache
     #: (0 disables the cache; batch dedup still applies)
     match_cache_size: int = 8192
+    #: runtime metrics (:mod:`repro.obs`): per-stage latency histograms,
+    #: match/fast-lane counters and pattern-DB gauges published through a
+    #: :class:`~repro.obs.metrics.MetricsRegistry` on every execution
+    #: path; off removes the observer entirely for overhead comparisons
+    #: (``benchmarks/smoke_obs.py`` gates the cost of leaving it on)
+    enable_metrics: bool = True
     #: worker processes for the persistent parallel engine
     #: (:class:`repro.core.parallel.PersistentParallelSequenceRTG`);
     #: 0 means one per available CPU minus one for the parent

@@ -89,6 +89,11 @@ class BatchResult:
     #: workers used, spawns/respawns, delta-sync and replay payloads —
     #: see :class:`repro.core.parallel.PersistentParallelSequenceRTG`
     pool: dict[str, int] = field(default_factory=dict)
+    #: JSON-compatible dump of this batch's metrics-registry delta
+    #: (:mod:`repro.obs`): stage latency histograms, per-service
+    #: counters, fast-lane events and DB gauges — empty when
+    #: ``RTGConfig.enable_metrics`` is off
+    metrics: dict = field(default_factory=dict)
     new_patterns: list[Pattern] = field(default_factory=list)
 
     @property
@@ -366,11 +371,19 @@ class FastPathObserver(StageObserver):
 # ----------------------------------------------------------------------
 
 def default_observers(rtg: "SequenceRTG") -> list[StageObserver]:
-    """The serial driver's instrumentation: timings, plus cache deltas
-    when the fast lane is enabled."""
+    """The serial driver's instrumentation: timings, cache deltas when
+    the fast lane is enabled, then metrics — last, because the metrics
+    observer folds ``result.timings``/``result.cache`` the earlier
+    observers publish at batch end."""
     observers: list[StageObserver] = [TimingObserver()]
     if rtg.config.enable_fastpath:
         observers.append(FastPathObserver(rtg.fastpath))
+    if rtg.config.enable_metrics:
+        # imported here: repro.obs.observer subclasses this module's
+        # StageObserver, so a top-level import would be circular
+        from repro.obs.observer import MetricsObserver
+
+        observers.append(MetricsObserver(rtg.metrics, db=rtg.db))
     return observers
 
 

@@ -176,6 +176,17 @@ class PatternJournal:
             raise ValueError(f"cursor must be >= 0, got {cursor}")
         return self._entries[cursor:]
 
+    def lag(self, cursor: int) -> int:
+        """Entries a consumer at *cursor* has not yet synced.
+
+        The pool's cursor-lag gauge (``rtg_journal_lag``): how far a
+        worker's pattern view trailed the journal head when its shard
+        was dispatched.
+        """
+        if cursor < 0:
+            raise ValueError(f"cursor must be >= 0, got {cursor}")
+        return max(0, len(self._entries) - cursor)
+
 
 @dataclass(slots=True)
 class _ServiceMatchCache:

@@ -62,6 +62,8 @@ from repro.core.fastpath import PatternJournal
 from repro.core.patterndb import PatternDB
 from repro.core.pipeline import SequenceRTG
 from repro.core.records import LogRecord
+from repro.obs.metrics import MetricsRegistry, snapshot_to_dict
+from repro.obs.observer import METRIC_HELP, MetricsObserver, fold_batch_result
 
 __all__ = [
     "ParallelSequenceRTG",
@@ -106,6 +108,7 @@ class _ShardTask:
     config: RTGConfig
     known_patterns: list[dict]  # Pattern.to_dict() of relevant services
     now: datetime | None = None
+    worker: int | None = None  # ``worker`` metric label of the shard
 
 
 @dataclass(slots=True)
@@ -122,6 +125,10 @@ class _ShardOutcome:
     match_examples: dict[str, list[str]]
     cache: dict[str, int]
     timings: dict[str, float] = field(default_factory=dict)
+    #: the worker registry's per-batch snapshot delta (stage latency
+    #: histograms, per-service counters), merged into the parent's
+    #: registry — see :meth:`repro.obs.metrics.MetricsRegistry.merge`
+    metrics: dict = field(default_factory=dict)
 
 
 class DeltaPersistStage(PersistStage):
@@ -183,29 +190,47 @@ class DeltaPersistStage(PersistStage):
 
 
 def _worker_engine(
-    config: RTGConfig,
+    config: RTGConfig, worker: int | None = None
 ) -> tuple[SequenceRTG, DeltaPersistStage, MiningEngine]:
     """One worker's private miner on the shared staged engine.
 
     The same :class:`MiningEngine` the serial path runs — same stages,
     same default observers — with :class:`DeltaPersistStage` substituted
-    as the persistence seam.
+    as the persistence seam.  The worker's metric registry stamps every
+    sample with a ``worker`` label and records stage-level series only
+    (``batch_level=False``): batch aggregates — matched fraction, fast
+    lane, pool and database gauges — are folded exactly once, parent
+    side, from the merged :class:`BatchResult`.
     """
+    metrics = None
+    if config.enable_metrics and worker is not None:
+        metrics = MetricsRegistry(const_labels={"worker": str(worker)})
     rtg = SequenceRTG(
-        db=PatternDB(max_examples=config.max_examples), config=config
+        db=PatternDB(max_examples=config.max_examples),
+        config=config,
+        metrics=metrics,
     )
     persist = DeltaPersistStage(rtg, reported={})
-    return rtg, persist, MiningEngine(rtg, persist=persist)
+    engine = MiningEngine(rtg, persist=persist)
+    for observer in engine.observers:
+        if isinstance(observer, MetricsObserver):
+            observer.batch_level = False
+            observer.db = None
+    return rtg, persist, engine
 
 
 def _analyze_shard(task: _ShardTask) -> _ShardOutcome:
     """Run one throwaway staged engine over a service shard."""
-    rtg, persist, engine = _worker_engine(task.config)
+    rtg, persist, engine = _worker_engine(task.config, worker=task.worker)
     for pattern_dict in task.known_patterns:
         pattern = Pattern.from_dict(pattern_dict)
         rtg.db.upsert(pattern)
         persist.reported[pattern.id] = pattern.support
-    return persist.outcome(engine.run(task.records, now=task.now))
+    outcome = persist.outcome(engine.run(task.records, now=task.now))
+    # a fresh process starts from an empty registry, so the cumulative
+    # snapshot *is* the batch delta
+    outcome.metrics = rtg.metrics.snapshot()
+    return outcome
 
 
 class _DisjointMerge:
@@ -255,10 +280,16 @@ class ParallelSequenceRTG:
         #: known-pattern payloads) into ``result.pool`` — off by default
         #: so timing runs don't pay a second serialisation
         self.track_sync_bytes = False
+        #: shared runtime metrics registry: the in-process instance
+        #: writes into it directly; worker deltas are merged after every
+        #: multi-shard batch
+        self.metrics = MetricsRegistry()
         # persistent in-process instance over the shared database: runs
         # single-shard batches directly (parser and fast-lane caches stay
         # warm across batches) and absorbs pool-merged patterns in place
-        self._local = SequenceRTG(db=self.db, config=self.config)
+        self._local = SequenceRTG(
+            db=self.db, config=self.config, metrics=self.metrics
+        )
 
     # ------------------------------------------------------------------
     def _known_for(self, services: set[str]) -> list[dict]:
@@ -285,9 +316,13 @@ class ParallelSequenceRTG:
                 config=self.config,
                 known_patterns=self._known_for({r.service for r in shard}),
                 now=now,
+                worker=index,
             )
-            for shard in shards
+            for index, shard in enumerate(shards)
         ]
+        metrics_before = (
+            self.metrics.snapshot() if self.config.enable_metrics else None
+        )
         with multiprocessing.Pool(processes=len(tasks)) as pool:
             outcomes = pool.map(_analyze_shard, tasks)
 
@@ -312,6 +347,8 @@ class ParallelSequenceRTG:
                 result.cache[key] = result.cache.get(key, 0) + value
             for key, value in outcome.timings.items():
                 result.timings[key] = result.timings.get(key, 0.0) + value
+            if outcome.metrics:
+                self.metrics.merge(outcome.metrics)
             for pattern_dict in outcome.new_patterns:
                 pattern = Pattern.from_dict(pattern_dict)
                 guard.claim(pattern.id, shard_index)
@@ -325,6 +362,13 @@ class ParallelSequenceRTG:
                 self.db.record_match(pid, n=n, now=now)
                 for example in outcome.match_examples.get(pid, ()):
                     self.db.add_example(pid, example)
+        if metrics_before is not None:
+            fold_batch_result(self.metrics, result, db=self.db)
+            result.metrics = snapshot_to_dict(
+                MetricsRegistry.snapshot_delta(
+                    metrics_before, self.metrics.snapshot()
+                )
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -337,7 +381,7 @@ class ParallelSequenceRTG:
 # Persistent worker pool
 # ----------------------------------------------------------------------
 
-def _worker_main(conn, config: RTGConfig) -> None:
+def _worker_main(conn, config: RTGConfig, index: int | None = None) -> None:
     """Loop of one long-lived worker process.
 
     Owns a private staged engine (:func:`_worker_engine`) over an
@@ -349,10 +393,13 @@ def _worker_main(conn, config: RTGConfig) -> None:
       and never again for patterns this worker reported itself.
     * ``("batch", records, patterns, now)`` — absorb the delta
       *patterns*, analyse *records* stamped with *now*, reply with a
-      :class:`_ShardOutcome` of deltas.
+      :class:`_ShardOutcome` of deltas.  The outcome carries the
+      worker registry's per-batch snapshot delta (the registry is
+      long-lived here, unlike the cold pool's, so cumulative values
+      must be diffed before shipping).
     * ``("stop",)`` — exit.
     """
-    rtg, persist, engine = _worker_engine(config)
+    rtg, persist, engine = _worker_engine(config, worker=index)
     #: match_count already reported to (or received from) the parent
     reported = persist.reported
 
@@ -375,7 +422,11 @@ def _worker_main(conn, config: RTGConfig) -> None:
         _, records, sync, now = message
         absorb(sync)
         persist.reset()
+        metrics_before = rtg.metrics.snapshot()
         outcome = persist.outcome(engine.run(records, now=now))
+        outcome.metrics = MetricsRegistry.snapshot_delta(
+            metrics_before, rtg.metrics.snapshot()
+        )
         try:
             conn.send(outcome)
         except (BrokenPipeError, OSError):
@@ -482,9 +533,16 @@ class PersistentParallelSequenceRTG:
         )
         if self.n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {self.n_workers}")
+        #: shared runtime metrics registry: the in-process instance
+        #: writes into it directly; worker deltas are merged in
+        #: :meth:`_merge` and batch aggregates folded by the pool-level
+        #: :class:`~repro.obs.observer.MetricsObserver`
+        self.metrics = MetricsRegistry()
         # absorbs merged patterns with warm parsers, and serves
         # parser_for/parse needs of the parent process
-        self._local = SequenceRTG(db=self.db, config=self.config)
+        self._local = SequenceRTG(
+            db=self.db, config=self.config, metrics=self.metrics
+        )
         self._journal = PatternJournal()
         self._workers: list[_WorkerHandle | None] = [None] * self.n_workers
         self._closed = False
@@ -504,6 +562,11 @@ class PersistentParallelSequenceRTG:
         #: batch-level observers (``BatchResult.pool`` publisher by
         #: default); stage-level hooks fire inside the workers
         self.observers: list[StageObserver] = [self._pool_telemetry]
+        if self.config.enable_metrics:
+            # after _PoolTelemetry: folding reads ``result.pool``
+            self.observers.append(
+                MetricsObserver(self.metrics, db=self.db)
+            )
 
     # -- lifecycle -------------------------------------------------------
     def __enter__(self) -> "PersistentParallelSequenceRTG":
@@ -558,7 +621,7 @@ class PersistentParallelSequenceRTG:
         parent_conn, child_conn = multiprocessing.Pipe()
         process = multiprocessing.Process(
             target=_worker_main,
-            args=(child_conn, self.config),
+            args=(child_conn, self.config, index),
             name=f"sequence-rtg-worker-{index}",
             daemon=True,
         )
@@ -644,6 +707,11 @@ class PersistentParallelSequenceRTG:
                 continue
             handle = self._ensure_worker(index)
             handle.services.update(r.service for r in shard)
+            if self.config.enable_metrics:
+                # read before _delta_for advances the cursor to head
+                self.metrics.gauge(
+                    "rtg_journal_lag", METRIC_HELP["rtg_journal_lag"]
+                ).set(self._journal.lag(handle.cursor), worker=str(index))
             sync = self._delta_for(handle)
             try:
                 handle.conn.send(("batch", shard, sync, now))
@@ -703,6 +771,8 @@ class PersistentParallelSequenceRTG:
             # wall clock (workers overlap)
             for key, value in outcome.timings.items():
                 result.timings[key] = result.timings.get(key, 0.0) + value
+            if outcome.metrics:
+                self.metrics.merge(outcome.metrics)
             for pattern_dict in outcome.new_patterns:
                 pattern = Pattern.from_dict(pattern_dict)
                 guard.claim(pattern.id, shard_index)

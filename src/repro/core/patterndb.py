@@ -379,3 +379,14 @@ class PatternDB:
             (n,) = self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()
             out[table] = n
         return out
+
+    def counts_by_service(self) -> dict[str, int]:
+        """Stored patterns per service, for the DB growth gauges
+        (:func:`repro.obs.observer.observe_patterndb`)."""
+        return dict(
+            self._conn.execute(
+                "SELECT s.name, COUNT(p.id) FROM services s"
+                " LEFT JOIN patterns p ON p.service_id = s.id"
+                " GROUP BY s.name ORDER BY s.name"
+            ).fetchall()
+        )

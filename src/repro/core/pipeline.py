@@ -22,6 +22,7 @@ from repro.core.engine import BatchResult, MiningEngine, drive_stream
 from repro.core.fastpath import FastPath
 from repro.core.patterndb import PatternDB
 from repro.core.records import LogRecord
+from repro.obs.metrics import MetricsRegistry
 from repro.parser.parser import Parser
 from repro.scanner.scanner import Scanner
 
@@ -41,7 +42,10 @@ class SequenceRTG:
     """
 
     def __init__(
-        self, db: PatternDB | None = None, config: RTGConfig | None = None
+        self,
+        db: PatternDB | None = None,
+        config: RTGConfig | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.config = config or RTGConfig()
         self.db = db or PatternDB(max_examples=self.config.max_examples)
@@ -50,6 +54,9 @@ class SequenceRTG:
         self.fastpath = FastPath(
             self.config.scan_cache_size, self.config.match_cache_size
         )
+        #: runtime metrics registry (:mod:`repro.obs`); pool front ends
+        #: pass theirs in so the in-process instance shares it
+        self.metrics = metrics or MetricsRegistry()
         self.engine = MiningEngine(self)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,93 @@
+"""Prometheus text exposition (format version 0.0.4).
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` in the plain-text
+format every Prometheus-compatible scraper understands:
+
+```
+# HELP rtg_stage_latency_seconds Wall-clock seconds per engine stage run
+# TYPE rtg_stage_latency_seconds histogram
+rtg_stage_latency_seconds_bucket{le="0.001",stage="scan"} 12
+...
+rtg_stage_latency_seconds_sum{stage="scan"} 0.0421
+rtg_stage_latency_seconds_count{stage="scan"} 14
+```
+
+Output is fully sorted (families by name, samples by label key) so two
+renders of the same state are byte-identical — the property the golden
+tests and the CLI snapshot command rely on.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["render_prometheus", "CONTENT_TYPE"]
+
+#: value for the HTTP ``Content-Type`` header of a scrape response
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Integral floats print as integers, like the reference clients."""
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_bound(bound: float) -> str:
+    return str(int(bound)) if float(bound).is_integer() else repr(float(bound))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry's current state as exposition text."""
+    lines: list[str] = []
+    for name, entry in sorted(registry.snapshot().items()):
+        if entry["help"]:
+            lines.append(f"# HELP {name} {_escape_help(entry['help'])}")
+        lines.append(f"# TYPE {name} {entry['kind']}")
+        for key in sorted(entry["samples"]):
+            labels = dict(key)
+            value = entry["samples"][key]
+            if entry["kind"] == "histogram":
+                counts, h_sum, h_count = value
+                running = 0
+                for bound, count in zip(entry["buckets"], counts):
+                    running += count
+                    bucket_labels = labels | {"le": _format_bound(bound)}
+                    lines.append(
+                        f"{name}_bucket{_format_labels(bucket_labels)} {running}"
+                    )
+                lines.append(
+                    f'{name}_bucket{_format_labels(labels | {"le": "+Inf"})}'
+                    f" {h_count}"
+                )
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} {_format_value(h_sum)}"
+                )
+                lines.append(f"{name}_count{_format_labels(labels)} {h_count}")
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

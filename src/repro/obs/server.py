@@ -1,0 +1,99 @@
+"""``/metrics`` scrape endpoint on the standard library's HTTP server.
+
+Deliberately tiny: one threaded ``http.server`` serving the registry's
+Prometheus rendering, started on a daemon thread so a crashed or closed
+miner never leaves the process hanging on a socket.  ``sequence-rtg
+serve --metrics-port`` owns one; tests bind port 0 and read the chosen
+port back.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.exposition import CONTENT_TYPE, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsServer"]
+
+
+class MetricsServer:
+    """Serve one registry's ``/metrics`` endpoint in the background.
+
+    The registry is read under its own lock at request time, so scrapes
+    are consistent while batches are being analysed concurrently.  Use
+    as a context manager or pair :meth:`start` with :meth:`close`.
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, port: int = 0, host: str = "127.0.0.1"
+    ) -> None:
+        self.registry = registry
+        self._host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> int:
+        """Bind and serve; returns the bound port (useful with port 0)."""
+        if self._httpd is not None:
+            return self.port
+        registry = self.registry
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404, "only /metrics is served here")
+                    return
+                body = render_prometheus(registry).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                """Scrapes are periodic; don't spam stderr."""
+
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="sequence-rtg-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server is not running")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

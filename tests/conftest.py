@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.analyzer.analyzer import Analyzer
@@ -9,6 +11,116 @@ from repro.core.patterndb import PatternDB
 from repro.core.pipeline import SequenceRTG
 from repro.core.records import LogRecord
 from repro.scanner.scanner import Scanner, ScannerConfig
+
+
+class MessageGenerator:
+    """Seeded pseudo-random log message generator (stdlib only).
+
+    Drives the property-based tests: :meth:`message` produces arbitrary
+    single-line messages mixing every scan-time token shape (words,
+    integers, floats, IPv4/IPv6 addresses, hex ids, times, key=value
+    pairs, paths, bracketed fields), and :meth:`records` produces
+    template-derived traffic — fixed literal skeletons with variable
+    slots — so mining over it reliably generalises patterns.
+
+    Messages are emitted with single-space separation and no leading or
+    trailing whitespace, the subset of inputs the scanner's
+    ``is_space_before`` reconstruction guarantee covers byte-for-byte
+    (runs of whitespace collapse by design).
+    """
+
+    WORDS = (
+        "connection", "accepted", "failed", "session", "opened", "closed",
+        "user", "root", "daemon", "timeout", "retry", "error", "warning",
+        "disk", "memory", "packet", "request", "reply", "started",
+        "stopped", "for", "from", "on", "via", "at",
+    )
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    # -- arbitrary token soup (scanner round-trip) ----------------------
+    def _word(self) -> str:
+        return self.rng.choice(self.WORDS)
+
+    def _token(self) -> str:
+        rng = self.rng
+        kind = rng.randrange(10)
+        if kind == 0:
+            return str(rng.randrange(0, 10**6))
+        if kind == 1:
+            return f"{rng.uniform(0, 1000):.{rng.randrange(1, 5)}f}"
+        if kind == 2:
+            return ".".join(str(rng.randrange(256)) for _ in range(4))
+        if kind == 3:
+            return f"{rng.randrange(16**8):08x}"
+        if kind == 4:
+            return (
+                f"{rng.randrange(24):02d}:{rng.randrange(60):02d}"
+                f":{rng.randrange(60):02d}"
+            )
+        if kind == 5:
+            return f"{self._word()}={rng.randrange(10**4)}"
+        if kind == 6:
+            return "/" + "/".join(self._word() for _ in range(rng.randrange(1, 4)))
+        if kind == 7:
+            return f"[{self._word()}]"
+        if kind == 8:
+            return self._word() + rng.choice((":", ",", ";", "."))
+        return self._word()
+
+    def message(self, n_tokens: int | None = None) -> str:
+        n = n_tokens or self.rng.randrange(1, 12)
+        return " ".join(self._token() for _ in range(n))
+
+    def messages(self, n: int) -> list[str]:
+        return [self.message() for _ in range(n)]
+
+    # -- template-derived traffic (mining properties) -------------------
+    def _template(self) -> list[str]:
+        """A literal skeleton with ``{int}``/``{ipv4}``/``{word}`` slots."""
+        rng = self.rng
+        parts: list[str] = []
+        for _ in range(rng.randrange(4, 9)):
+            parts.append(
+                rng.choice((self._word(), "{int}", "{ipv4}", "{word}"))
+            )
+        return parts
+
+    def _instantiate(self, template: list[str]) -> str:
+        rng = self.rng
+        out: list[str] = []
+        for part in template:
+            if part == "{int}":
+                out.append(str(rng.randrange(10**5)))
+            elif part == "{ipv4}":
+                out.append(".".join(str(rng.randrange(256)) for _ in range(4)))
+            elif part == "{word}":
+                out.append(self._word() + str(rng.randrange(100)))
+            else:
+                out.append(part)
+        return " ".join(out)
+
+    def records(
+        self, n: int, n_services: int = 3, templates_per_service: int = 3
+    ) -> list[LogRecord]:
+        """*n* records of repeating templated events across services."""
+        catalogue = {
+            f"svc{s}": [self._template() for _ in range(templates_per_service)]
+            for s in range(n_services)
+        }
+        out: list[LogRecord] = []
+        for _ in range(n):
+            service = f"svc{self.rng.randrange(n_services)}"
+            template = self.rng.choice(catalogue[service])
+            out.append(LogRecord(service, self._instantiate(template)))
+        return out
+
+
+@pytest.fixture()
+def message_generator() -> MessageGenerator:
+    """Deterministic generator for property-based tests."""
+    return MessageGenerator(seed=0)
 
 
 @pytest.fixture()

@@ -1,0 +1,83 @@
+"""Golden-file export tests.
+
+One fixed seeded corpus is mined with a pinned timestamp and exported in
+every supported format; the rendered documents are compared
+byte-for-byte against committed fixtures.  Any change to the exporters —
+tag mappings, escaping, document structure, metadata fields — shows up
+as a reviewable fixture diff instead of silently breaking downstream
+syslog-ng/Logstash deployments.
+
+Regenerate after an intentional exporter change with:
+
+    PYTHONPATH=src python tests/core/test_export_golden.py --regen
+"""
+
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.core.export import FORMATS, export_patterns
+from repro.core.patterndb import PatternDB
+from repro.core.pipeline import SequenceRTG
+
+from tests.conftest import MessageGenerator
+
+FIXTURE_DIR = Path(__file__).parent.parent / "fixtures" / "exports"
+FIXTURE_NAMES = {
+    "syslog-ng": "patterns.syslog-ng.xml",
+    "yaml": "patterns.yaml",
+    "grok": "patterns.grok",
+}
+#: pinned mining timestamp — keeps first_seen/last_matched stable
+NOW = datetime(2026, 1, 15, 12, 0, 0, tzinfo=timezone.utc)
+
+
+def mined_db() -> PatternDB:
+    """The fixed corpus behind every fixture: two batches (the second
+    re-matches the first's patterns, so match counts and last_matched
+    are exercised) of seeded template traffic."""
+    generator = MessageGenerator(seed=42)
+    rtg = SequenceRTG(db=PatternDB())
+    rtg.analyze_by_service(generator.records(300, n_services=2), now=NOW)
+    rtg.analyze_by_service(generator.records(150, n_services=2), now=NOW)
+    return rtg.db
+
+
+@pytest.fixture(scope="module")
+def db() -> PatternDB:
+    return mined_db()
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_export_matches_golden_fixture(db: PatternDB, fmt: str) -> None:
+    fixture = FIXTURE_DIR / FIXTURE_NAMES[fmt]
+    rendered = export_patterns(db, fmt=fmt)
+    assert rendered == fixture.read_text(encoding="utf-8"), (
+        f"{fmt} export drifted from {fixture}; if the change is "
+        "intentional, regenerate with "
+        "`PYTHONPATH=src python tests/core/test_export_golden.py --regen`"
+    )
+
+
+def test_corpus_is_nontrivial(db: PatternDB) -> None:
+    """Guard the fixtures' coverage: several services, several patterns,
+    matched patterns with stored examples."""
+    assert len(db.services()) >= 2
+    rows = db.rows()
+    assert len(rows) >= 4
+    assert any(row.last_matched for row in rows)
+    assert any(row.examples for row in rows)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("usage: python tests/core/test_export_golden.py --regen")
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    fresh = mined_db()
+    for fmt, name in FIXTURE_NAMES.items():
+        path = FIXTURE_DIR / name
+        path.write_text(export_patterns(fresh, fmt=fmt), encoding="utf-8")
+        print(f"wrote {path}")

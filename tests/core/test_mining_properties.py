@@ -1,0 +1,55 @@
+"""Property test: every mined pattern re-matches its own evidence.
+
+A pattern is mined *from* concrete messages and stores some of them as
+examples; if the pattern (or its parser compilation) ever failed to
+match the very messages it generalised, exports would ship rules that
+reject their own test cases.  Stated as a randomized property over
+seeded template traffic.
+"""
+
+import pytest
+
+from repro.core.patterndb import PatternDB
+from repro.core.pipeline import SequenceRTG
+from repro.parser.parser import Parser
+
+from tests.conftest import MessageGenerator
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_mined_patterns_rematch_their_examples(seed: int) -> None:
+    generator = MessageGenerator(seed=seed)
+    rtg = SequenceRTG(db=PatternDB())
+    result = rtg.analyze_by_service(generator.records(400, n_services=3))
+    assert result.n_new_patterns > 0
+
+    checked = 0
+    for row in rtg.db.rows():
+        pattern = row.to_pattern()
+        parser = Parser([pattern])
+        for example in row.examples:
+            scanned = rtg.scanner.scan(example, service=row.service)
+            hit = parser.match(scanned)
+            assert hit is not None, (
+                f"pattern {row.id} ({row.pattern_text!r}) does not match "
+                f"its own example {example!r}"
+            )
+            assert hit.pattern.id == row.id
+            checked += 1
+    assert checked > 0
+
+
+def test_full_parser_matches_every_example(seed: int = 7) -> None:
+    """The service's complete parser (all patterns at once) must also
+    accept each stored example — patterns may shadow each other, but
+    none of the evidence may become unparseable."""
+    generator = MessageGenerator(seed=seed)
+    rtg = SequenceRTG(db=PatternDB())
+    rtg.analyze_by_service(generator.records(400, n_services=2))
+
+    for service in rtg.db.services():
+        parser = rtg.parser_for(service)
+        for row in rtg.db.rows(service=service):
+            for example in row.examples:
+                scanned = rtg.scanner.scan(example, service=service)
+                assert parser.match(scanned) is not None

@@ -288,6 +288,64 @@ class TestWorkerCrash:
             assert db_fingerprint(engine.db) == db_fingerprint(serial.db)
 
 
+class TestCrashReplayMetrics:
+    """Crash replay must not corrupt the mining metrics.
+
+    Fast-lane counters and latency sums legitimately differ after a
+    respawn (the replacement worker starts with cold caches and its
+    timings are its own), but the mining counters — records in, matched,
+    unmatched, patterns out — and the final pattern dump must be
+    bit-identical to an uninterrupted run: lost in-flight work is
+    re-dispatched, never merged twice.
+    """
+
+    MINING_COUNTERS = (
+        "rtg_records_total",
+        "rtg_matched_total",
+        "rtg_unmatched_total",
+        "rtg_patterns_total",
+    )
+
+    def mining_counter_samples(self, registry):
+        """Full labelled samples of the four mining counters (worker
+        labels included: routing is sticky, so a respawned worker keeps
+        its index)."""
+        snapshot = registry.snapshot()
+        return {
+            name: dict(sorted(snapshot[name]["samples"].items()))
+            for name in self.MINING_COUNTERS
+        }
+
+    def run_stream(self, batches, crash_at=None):
+        with PersistentParallelSequenceRTG(db=PatternDB(), n_workers=3) as engine:
+            def crash_one_worker():
+                victim = next(h for h in engine._workers if h is not None)
+                victim.process.kill()
+                victim.process.join(timeout=5.0)
+                engine._post_dispatch_hook = None  # crash only once
+
+            for i, batch in enumerate(batches):
+                if i == crash_at:
+                    engine._post_dispatch_hook = crash_one_worker
+                engine.analyze_by_service(batch)
+            return (
+                db_fingerprint(engine.db),
+                self.mining_counter_samples(engine.metrics),
+                engine.telemetry["respawns"],
+            )
+
+    def test_mid_batch_crash_metrics_identical_to_clean_run(self):
+        batches = batches_for_test(n_batches=5)
+        clean_dump, clean_counters, clean_respawns = self.run_stream(batches)
+        crash_dump, crash_counters, crash_respawns = self.run_stream(
+            batches, crash_at=2
+        )
+        assert clean_respawns == 0
+        assert crash_respawns == 1
+        assert crash_dump == clean_dump
+        assert crash_counters == clean_counters
+
+
 class TestEngineLifecycle:
     def test_close_is_idempotent_and_terminates_workers(self):
         engine = PersistentParallelSequenceRTG(db=PatternDB(), n_workers=2)

@@ -1,0 +1,44 @@
+"""Property test: scanning is lossless for single-line messages.
+
+The paper's whitespace-management addition ("Joining token texts with a
+single space wherever ``is_space_before`` is set reconstructs the
+message's structure exactly") stated as a randomized property over
+hundreds of generated messages mixing every scan-time token shape,
+rather than a handful of hand-picked examples.
+"""
+
+import pytest
+
+from repro.scanner.scanner import Scanner
+from repro.scanner.token_types import reconstruct
+
+from tests.conftest import MessageGenerator
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_reconstruct_is_byte_identical(scanner: Scanner, seed: int) -> None:
+    generator = MessageGenerator(seed=seed)
+    for message in generator.messages(200):
+        scanned = scanner.scan(message, service="svc")
+        assert reconstruct(scanned.tokens) == message, message
+
+
+def test_reconstruct_stops_at_first_line_break(scanner: Scanner) -> None:
+    """Multi-line messages are cut at the first newline (paper §III);
+    reconstruction reproduces exactly the retained first line."""
+    generator = MessageGenerator(seed=99)
+    for first in generator.messages(50):
+        message = first + "\n" + generator.message()
+        scanned = scanner.scan(message, service="svc")
+        assert scanned.truncated
+        assert reconstruct(scanned.tokens) == first
+
+
+def test_adjacent_tokens_reconstruct_without_spurious_space(
+    scanner: Scanner,
+) -> None:
+    """Tokens that were adjacent in the source (key=value, trailing
+    punctuation) must not gain whitespace on reconstruction."""
+    for message in ("port=8080", "error: code=5, retry", "a=1 b=2.5 c=x"):
+        scanned = scanner.scan(message, service="svc")
+        assert reconstruct(scanned.tokens) == message

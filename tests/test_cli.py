@@ -72,6 +72,57 @@ class TestServe:
         err = capsys.readouterr().err
         assert "ingested 8 records (1 malformed) in 2 batches" in err
 
+    def test_serve_with_metrics_port(self, tmp_path, db_path, capsys,
+                                     monkeypatch):
+        """`serve --metrics-port` announces the endpoint and serves the
+        miner's registry while the stream runs."""
+        import urllib.request
+
+        from repro.obs.server import MetricsServer
+
+        scrapes = []
+        original_close = MetricsServer.close
+
+        def scraping_close(self):
+            if self._httpd is not None:
+                with urllib.request.urlopen(self.url, timeout=5) as response:
+                    scrapes.append(response.read().decode("utf-8"))
+            original_close(self)
+
+        monkeypatch.setattr(MetricsServer, "close", scraping_close)
+        lines = [json.dumps({"service": "sshd", "message": m}) for m in SSH_LINES]
+        stream = write_log(tmp_path, lines, name="stream.jsonl")
+        assert main(
+            ["--db", db_path, "serve", stream, "--batch-size", "4",
+             "--metrics-port", "0"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "metrics: http://127.0.0.1:" in err
+        (body,) = scrapes
+        assert "rtg_batches_total 2" in body
+        assert "rtg_stage_latency_seconds_bucket" in body
+
+
+class TestMetricsCommand:
+    def _mine(self, tmp_path, db_path):
+        log = write_log(tmp_path, SSH_LINES)
+        main(["--db", db_path, "mine", log, "--service", "sshd"])
+
+    def test_prometheus_snapshot(self, tmp_path, db_path, capsys):
+        self._mine(tmp_path, db_path)
+        capsys.readouterr()
+        assert main(["--db", db_path, "metrics"]) == 0
+        out = capsys.readouterr().out
+        assert 'rtg_patterndb_rows{table="patterns"} 1' in out
+        assert 'rtg_patterndb_patterns{service="sshd"} 1' in out
+
+    def test_json_snapshot(self, tmp_path, db_path, capsys):
+        self._mine(tmp_path, db_path)
+        capsys.readouterr()
+        assert main(["--db", db_path, "metrics", "--format", "json"]) == 0
+        dump = json.loads(capsys.readouterr().out)
+        assert dump["rtg_patterndb_rows"]["kind"] == "gauge"
+
 
 class TestExport:
     def _mine(self, tmp_path, db_path):
