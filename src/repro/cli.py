@@ -30,7 +30,7 @@ from repro.core.ingest import StreamIngester
 from repro.core.patterndb import PatternDB
 from repro.core.pipeline import SequenceRTG
 from repro.core.records import LogRecord
-from repro.scanner.scanner import ScannerConfig
+from repro.scanner.scanner import SCANNER_BACKENDS, ScannerConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -52,6 +52,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--path-fsm",
         action="store_true",
         help="enable the future-work path finite state machine",
+    )
+    parser.add_argument(
+        "--scanner-backend",
+        choices=SCANNER_BACKENDS,
+        default="fsm",
+        help="tokenizer implementation: the reference character FSM "
+        "cascade or the compiled regex-program backend (identical "
+        "token output, higher throughput)",
+    )
+    parser.add_argument(
+        "--durable-db",
+        action="store_true",
+        help="full-durability pattern DB (fsync per commit) instead of "
+        "the default WAL + synchronous=NORMAL",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -153,12 +167,16 @@ def _make_rtg(args: argparse.Namespace, batch_size: int = 100_000) -> SequenceRT
     config = RTGConfig(
         batch_size=batch_size,
         save_threshold=getattr(args, "save_threshold", 1),
+        db_durable=args.durable_db,
         scanner=ScannerConfig(
             allow_single_digit_time=args.single_digit_time,
             enable_path_fsm=args.path_fsm,
+            backend=args.scanner_backend,
         ),
     )
-    return SequenceRTG(db=PatternDB(args.db), config=config)
+    return SequenceRTG(
+        db=PatternDB(args.db, durable=args.durable_db), config=config
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -259,7 +277,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "export":
-        db = PatternDB(args.db)
+        db = PatternDB(args.db, durable=args.durable_db)
         sys.stdout.write(
             export_patterns(
                 db,
@@ -272,7 +290,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "stats":
-        db = PatternDB(args.db)
+        db = PatternDB(args.db, durable=args.durable_db)
         counts = db.counts()
         for table, n in counts.items():
             print(f"{table}: {n}")
@@ -284,7 +302,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.observer import observe_patterndb
 
         registry = MetricsRegistry()
-        observe_patterndb(registry, PatternDB(args.db))
+        observe_patterndb(registry, PatternDB(args.db, durable=args.durable_db))
         if args.format == "json":
             json.dump(registry.to_dict(), sys.stdout, indent=2)
             print()
@@ -293,14 +311,14 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "prune":
-        db = PatternDB(args.db)
+        db = PatternDB(args.db, durable=args.durable_db)
         removed = db.prune(save_threshold=args.threshold)
         print(f"pruned {removed} patterns below threshold {args.threshold}",
               file=sys.stderr)
         return 0
 
     if args.command == "merge":
-        db = PatternDB(args.db)
+        db = PatternDB(args.db, durable=args.durable_db)
         source = PatternDB(args.source)
         n = db.merge_from(source)
         print(f"merged {n} patterns from {args.source}", file=sys.stderr)
@@ -333,7 +351,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         from repro.core.report import review_report
 
-        db = PatternDB(args.db)
+        db = PatternDB(args.db, durable=args.durable_db)
         sys.stdout.write(
             review_report(
                 db,

@@ -55,6 +55,13 @@ class RTGConfig:
     #: batches the pipelined ingester's reader thread keeps ready ahead
     #: of analysis (:meth:`repro.core.ingest.StreamIngester.batches_pipelined`)
     ingest_prefetch: int = 2
+    #: full-durability pattern DB: keep SQLite's default rollback journal
+    #: and ``synchronous=FULL`` (fsync per commit).  Off by default — the
+    #: DB opens in WAL mode with ``synchronous=NORMAL``, which keeps the
+    #: database consistent across crashes (the last batch's counts may
+    #: need re-mining) but stops ``record_matches``/persist paying an
+    #: fsync per transaction on the hot path
+    db_durable: bool = False
     scanner: ScannerConfig = field(default_factory=ScannerConfig)
     analyzer: AnalyzerConfig = field(default_factory=AnalyzerConfig)
 

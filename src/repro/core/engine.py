@@ -174,10 +174,9 @@ class ScanStage(Stage):
                 rtg.scanner, ctx.service, ctx.records
             )
         else:
-            ctx.scanned = [
-                rtg.scanner.scan(r.message, service=ctx.service)
-                for r in ctx.records
-            ]
+            ctx.scanned = rtg.scanner.scan_many(
+                [r.message for r in ctx.records], service=ctx.service
+            )
 
 
 class ParseStage(Stage):
@@ -383,7 +382,13 @@ def default_observers(rtg: "SequenceRTG") -> list[StageObserver]:
         # StageObserver, so a top-level import would be circular
         from repro.obs.observer import MetricsObserver
 
-        observers.append(MetricsObserver(rtg.metrics, db=rtg.db))
+        observers.append(
+            MetricsObserver(
+                rtg.metrics,
+                db=rtg.db,
+                scan_backend=rtg.scanner.backend_name,
+            )
+        )
     return observers
 
 

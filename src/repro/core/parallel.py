@@ -206,7 +206,7 @@ def _worker_engine(
     if config.enable_metrics and worker is not None:
         metrics = MetricsRegistry(const_labels={"worker": str(worker)})
     rtg = SequenceRTG(
-        db=PatternDB(max_examples=config.max_examples),
+        db=PatternDB(max_examples=config.max_examples, durable=config.db_durable),
         config=config,
         metrics=metrics,
     )
@@ -274,7 +274,10 @@ class ParallelSequenceRTG:
         n_workers: int | None = None,
     ) -> None:
         self.config = config or RTGConfig()
-        self.db = db or PatternDB(max_examples=self.config.max_examples)
+        self.db = db or PatternDB(
+            max_examples=self.config.max_examples,
+            durable=self.config.db_durable,
+        )
         self.n_workers = n_workers or max(1, multiprocessing.cpu_count() - 1)
         #: measure the per-batch pattern re-ship (pickled bytes of the
         #: known-pattern payloads) into ``result.pool`` — off by default
@@ -525,7 +528,10 @@ class PersistentParallelSequenceRTG:
         n_workers: int | None = None,
     ) -> None:
         self.config = config or RTGConfig()
-        self.db = db or PatternDB(max_examples=self.config.max_examples)
+        self.db = db or PatternDB(
+            max_examples=self.config.max_examples,
+            durable=self.config.db_durable,
+        )
         self.n_workers = (
             n_workers
             or self.config.pool_workers
@@ -565,7 +571,11 @@ class PersistentParallelSequenceRTG:
         if self.config.enable_metrics:
             # after _PoolTelemetry: folding reads ``result.pool``
             self.observers.append(
-                MetricsObserver(self.metrics, db=self.db)
+                MetricsObserver(
+                    self.metrics,
+                    db=self.db,
+                    scan_backend=self.config.scanner.backend,
+                )
             )
 
     # -- lifecycle -------------------------------------------------------

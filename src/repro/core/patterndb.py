@@ -81,9 +81,23 @@ class PatternRow:
 class PatternDB:
     """SQLite-backed pattern persistence."""
 
-    def __init__(self, path: str = ":memory:", max_examples: int = 3) -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        max_examples: int = 3,
+        durable: bool = False,
+    ) -> None:
         self._conn = sqlite3.connect(path)
         self._conn.execute("PRAGMA foreign_keys = ON")
+        if not durable:
+            # WAL keeps readers unblocked and turns the per-commit cost
+            # into a sequential log append; NORMAL syncs only at WAL
+            # checkpoints.  A crash can lose the last commits but never
+            # corrupts the DB — acceptable for mined patterns, which the
+            # next batches re-discover.  (In-memory DBs report "memory"
+            # and keep their journal mode; the pragmas are harmless.)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
         self.max_examples = max_examples
         self._tx_depth = 0

@@ -24,7 +24,7 @@ from repro.core.patterndb import PatternDB
 from repro.core.records import LogRecord
 from repro.obs.metrics import MetricsRegistry
 from repro.parser.parser import Parser
-from repro.scanner.scanner import Scanner
+from repro.scanner import build_scanner
 
 __all__ = ["SequenceRTG", "BatchResult"]
 
@@ -48,8 +48,11 @@ class SequenceRTG:
         metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.config = config or RTGConfig()
-        self.db = db or PatternDB(max_examples=self.config.max_examples)
-        self.scanner = Scanner(self.config.scanner)
+        self.db = db or PatternDB(
+            max_examples=self.config.max_examples,
+            durable=self.config.db_durable,
+        )
+        self.scanner = build_scanner(self.config.scanner)
         self._parsers: dict[str, Parser] = {}
         self.fastpath = FastPath(
             self.config.scan_cache_size, self.config.match_cache_size

@@ -37,7 +37,8 @@ __all__ = [
 #: metric name -> help string, the single naming authority (docs table
 #: in docs/architecture.md mirrors this)
 METRIC_HELP = {
-    "rtg_stage_latency_seconds": "Wall-clock seconds per engine stage run (one observation per service group)",
+    "rtg_stage_latency_seconds": "Wall-clock seconds per engine stage run (one observation per service group; scan runs carry the tokenizer backend label)",
+    "rtg_scan_tokens_total": "Tokens emitted by the scan stage, by service and tokenizer backend",
     "rtg_records_total": "Log records entering the engine, by service",
     "rtg_matched_total": "Record occurrences matched by already-known patterns, by service",
     "rtg_unmatched_total": "Record occurrences passed on to the analyser, by service",
@@ -71,7 +72,7 @@ class MetricsObserver(StageObserver):
     """Publish the staged engine's execution into a metrics registry."""
 
     def __init__(self, registry: MetricsRegistry, db=None,
-                 batch_level: bool = True) -> None:
+                 batch_level: bool = True, scan_backend: str = "fsm") -> None:
         self.registry = registry
         #: pattern database whose sizes are published at batch end (the
         #: shared DB serially, ``None`` inside pool workers)
@@ -79,9 +80,15 @@ class MetricsObserver(StageObserver):
         #: fold batch-level aggregates and fill ``BatchResult.metrics``;
         #: off inside pool workers, whose deltas the parent folds once
         self.batch_level = batch_level
+        #: tokenizer backend label on scan-stage samples
+        #: (``Scanner.backend_name``: "fsm" or "compiled")
+        self.scan_backend = scan_backend
         self._stage_latency = registry.histogram(
             "rtg_stage_latency_seconds",
             METRIC_HELP["rtg_stage_latency_seconds"],
+        )
+        self._scan_tokens = registry.counter(
+            "rtg_scan_tokens_total", METRIC_HELP["rtg_scan_tokens_total"]
         )
         self._records = registry.counter(
             "rtg_records_total", METRIC_HELP["rtg_records_total"]
@@ -107,9 +114,18 @@ class MetricsObserver(StageObserver):
         self._stage_t0 = time.perf_counter()
 
     def on_stage_end(self, stage: str, ctx: ServiceBatchContext) -> None:
-        self._stage_latency.observe(
-            time.perf_counter() - self._stage_t0, stage=stage
-        )
+        elapsed = time.perf_counter() - self._stage_t0
+        if stage == "scan":
+            self._stage_latency.observe(
+                elapsed, stage=stage, backend=self.scan_backend
+            )
+            tokens = sum(len(m.tokens) for m in ctx.scanned)
+            if tokens:
+                self._scan_tokens.inc(
+                    tokens, service=ctx.service, backend=self.scan_backend
+                )
+            return
+        self._stage_latency.observe(elapsed, stage=stage)
         if stage != "persist":
             return
         # the group's flow is complete; tally its per-service outcome

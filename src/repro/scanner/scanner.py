@@ -15,6 +15,7 @@ each word as IPv4, integer, float or literal.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 
 from repro.scanner.hex_fsm import HexFSM
@@ -22,7 +23,10 @@ from repro.scanner.path_fsm import PathFSM
 from repro.scanner.time_fsm import TimeFSM
 from repro.scanner.token_types import Token, TokenType
 
-__all__ = ["Scanner", "ScannerConfig", "ScannedMessage"]
+__all__ = ["Scanner", "ScannerConfig", "ScannedMessage", "WordCache", "SCANNER_BACKENDS"]
+
+#: Recognised values of :attr:`ScannerConfig.backend`.
+SCANNER_BACKENDS = ("fsm", "compiled")
 
 # Punctuation that always forms its own single-character token.  Colons
 # are included so component headers ("sshd[123]:") and host:port splits
@@ -52,10 +56,24 @@ class ScannerConfig:
     allow_single_digit_time: bool = False
     #: Enable the fourth (path) finite state machine.
     enable_path_fsm: bool = False
-    #: Maximum tokens kept per message (0 = unlimited).  The longest
-    #: message observed in production had 864 tokens; capping protects the
-    #: analysis trie (§III, memory management).
+    #: Maximum tokens kept per message (0 = unlimited), *including* the
+    #: REST marker appended at the cut.  The longest message observed in
+    #: production had 864 tokens; capping protects the analysis trie
+    #: (§III, memory management).
     max_tokens: int = 0
+    #: Tokeniser implementation: ``"fsm"`` is the reference character
+    #: FSM cascade, ``"compiled"`` the regex-program backend
+    #: (:class:`repro.scanner.compiled.CompiledScanner`) with identical
+    #: token output.  Selected by :func:`repro.scanner.build_scanner`.
+    backend: str = "fsm"
+
+    def __post_init__(self) -> None:
+        if self.backend not in SCANNER_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {SCANNER_BACKENDS}, got {self.backend!r}"
+            )
+        if self.max_tokens < 0:
+            raise ValueError(f"max_tokens must be >= 0, got {self.max_tokens}")
 
 
 @dataclass(slots=True)
@@ -74,6 +92,46 @@ class ScannedMessage:
         return len(self.tokens)
 
 
+class WordCache:
+    """Bounded memo of general-FSM words → ``(interned text, type)``.
+
+    Log vocabulary is tiny relative to log volume, so classifying (and
+    allocating) each distinct word once pays for itself within a batch.
+    Interning through :func:`sys.intern` collapses the analysis-trie and
+    parse-trie key storage to one string object per distinct word and
+    turns their key comparisons into pointer checks.  The memo is
+    dropped wholesale when it reaches *maxsize* (an adversarial
+    all-unique stream costs one failed lookup per word, nothing more);
+    interned strings are freed with the memo, CPython's intern table
+    holds no immortal references.
+    """
+
+    __slots__ = ("maxsize", "_data")
+
+    #: distinct words remembered before the memo is dropped and rebuilt
+    DEFAULT_SIZE = 65536
+
+    def __init__(self, maxsize: int = DEFAULT_SIZE) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: dict[str, tuple[str, TokenType]] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def lookup(self, word: str) -> tuple[str, TokenType]:
+        """The interned text and scan-time type of one word."""
+        hit = self._data.get(word)
+        if hit is None:
+            text = sys.intern(word)
+            hit = (text, Scanner._classify_word(text))
+            if len(self._data) >= self.maxsize:
+                self._data.clear()
+            self._data[text] = hit
+        return hit
+
+
 class Scanner:
     """Tokenise log messages in a single pass.
 
@@ -82,6 +140,12 @@ class Scanner:
     once, so callers should reuse one scanner per configuration.
     """
 
+    #: break set shared with the compiled backend's regex program
+    _BREAK_CHARS = _BREAK_CHARS
+
+    #: reported as the ``backend`` metric label (overridden by subclasses)
+    backend_name = "fsm"
+
     def __init__(self, config: ScannerConfig | None = None) -> None:
         self.config = config or ScannerConfig()
         self._time_fsm = TimeFSM(
@@ -89,6 +153,7 @@ class Scanner:
         )
         self._hex_fsm = HexFSM()
         self._path_fsm = PathFSM() if self.config.enable_path_fsm else None
+        self._words = WordCache()
 
     # ------------------------------------------------------------------
     def scan(self, message: str, service: str = "") -> ScannedMessage:
@@ -110,21 +175,36 @@ class Scanner:
             tokens.append(
                 Token(text="", type=TokenType.REST, is_space_before=True, pos=len(body))
             )
-        if self.config.max_tokens and len(tokens) > self.config.max_tokens:
-            tokens = tokens[: self.config.max_tokens]
-            if tokens[-1].type is not TokenType.REST:
-                tokens.append(
-                    Token(
-                        text="",
-                        type=TokenType.REST,
-                        is_space_before=True,
-                        pos=len(body),
-                    )
+        max_tokens = self.config.max_tokens
+        if max_tokens and len(tokens) > max_tokens:
+            # the REST marker replaces the last kept token so the cap is
+            # honoured *including* the marker (the pre-fix behaviour
+            # returned max_tokens + 1 tokens)
+            tokens = tokens[: max_tokens - 1]
+            tokens.append(
+                Token(
+                    text="",
+                    type=TokenType.REST,
+                    is_space_before=True,
+                    pos=len(body),
                 )
+            )
             truncated = True
         return ScannedMessage(
             original=message, tokens=tokens, truncated=truncated, service=service
         )
+
+    def scan_many(
+        self, messages: list[str], service: str = ""
+    ) -> list[ScannedMessage]:
+        """Scan a batch of messages, hoisting the per-call setup.
+
+        Semantically ``[self.scan(m, service) for m in messages]``; the
+        bound-method and config lookups are paid once per batch instead
+        of once per message.
+        """
+        scan = self.scan
+        return [scan(message, service) for message in messages]
 
     # ------------------------------------------------------------------
     def _scan_line(self, s: str) -> list[Token]:
@@ -196,9 +276,8 @@ class Scanner:
                 carved.append((word[-1], i + len(word) - 1))
                 word = word[:-1]
 
-            tokens.append(
-                Token(word, self._classify_word(word), space_before, i)
-            )
+            text, ttype = self._words.lookup(word)
+            tokens.append(Token(text, ttype, space_before, i))
             for text, pos in reversed(carved):
                 tokens.append(Token(text, TokenType.LITERAL, False, pos))
             i = j

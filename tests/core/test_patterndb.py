@@ -213,3 +213,35 @@ class TestTransaction:
         assert len(observer.rows()) == 1
         observer.close()
         db.close()
+
+
+class TestJournalMode:
+    def test_default_opens_wal_with_normal_sync(self, tmp_path):
+        db = PatternDB(str(tmp_path / "patterns.db"))
+        assert db._conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        # synchronous: 1 == NORMAL
+        assert db._conn.execute("PRAGMA synchronous").fetchone()[0] == 1
+        db.close()
+
+    def test_durable_keeps_rollback_journal(self, tmp_path):
+        db = PatternDB(str(tmp_path / "patterns.db"), durable=True)
+        assert db._conn.execute("PRAGMA journal_mode").fetchone()[0] == "delete"
+        # synchronous: 2 == FULL (sqlite default)
+        assert db._conn.execute("PRAGMA synchronous").fetchone()[0] == 2
+        db.close()
+
+    def test_wal_db_readable_by_second_connection(self, tmp_path):
+        path = str(tmp_path / "patterns.db")
+        db = PatternDB(path)
+        db.upsert(make_pattern(), now=T0)
+        other = PatternDB(path)
+        assert len(other.rows()) == 1
+        other.close()
+        db.close()
+
+    def test_memory_db_unaffected(self):
+        db = PatternDB()  # :memory: cannot use WAL; pragmas are no-ops
+        assert db._conn.execute("PRAGMA journal_mode").fetchone()[0] == "memory"
+        db.upsert(make_pattern(), now=T0)
+        assert len(db.rows()) == 1
+        db.close()

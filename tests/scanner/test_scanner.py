@@ -118,8 +118,13 @@ class TestMultiline:
         scanner = Scanner(ScannerConfig(max_tokens=5))
         scanned = scanner.scan("one two three four five six seven")
         assert scanned.truncated
-        assert len(scanned.tokens) <= 6  # 5 + REST marker
+        # the cap includes the REST marker (regression: the pre-fix
+        # behaviour returned max_tokens + 1 tokens)
+        assert len(scanned.tokens) == 5
         assert scanned.tokens[-1].type is TokenType.REST
+        assert [t.text for t in scanned.tokens[:4]] == [
+            "one", "two", "three", "four"
+        ]
 
 
 class TestScannedMessage:

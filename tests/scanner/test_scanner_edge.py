@@ -92,7 +92,7 @@ class TestMaxTokensInteraction:
     def test_cap_with_existing_newline(self):
         scanner = Scanner(ScannerConfig(max_tokens=3))
         scanned = scanner.scan("a b c d e\nrest")
-        assert len(scanned.tokens) == 4  # 3 + REST
+        assert len(scanned.tokens) == 3  # cap includes the REST marker
         assert scanned.tokens[-1].type is TokenType.REST
         assert scanned.truncated
 
