@@ -30,6 +30,7 @@ from repro.core.ingest import StreamIngester
 from repro.core.patterndb import PatternDB
 from repro.core.pipeline import SequenceRTG
 from repro.core.records import LogRecord
+from repro.parser.parser import PARSER_BACKENDS, ParserConfig
 from repro.scanner.scanner import SCANNER_BACKENDS, ScannerConfig
 
 __all__ = ["main", "build_parser"]
@@ -60,6 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="tokenizer implementation: the reference character FSM "
         "cascade or the compiled regex-program backend (identical "
         "token output, higher throughput)",
+    )
+    parser.add_argument(
+        "--parser-backend",
+        choices=PARSER_BACKENDS,
+        default="reference",
+        help="pattern matcher implementation: the reference parse-trie "
+        "DFS or the compiled table-driven backend (identical match "
+        "output, higher throughput)",
     )
     parser.add_argument(
         "--durable-db",
@@ -173,6 +182,7 @@ def _make_rtg(args: argparse.Namespace, batch_size: int = 100_000) -> SequenceRT
             enable_path_fsm=args.path_fsm,
             backend=args.scanner_backend,
         ),
+        parser=ParserConfig(backend=args.parser_backend),
     )
     return SequenceRTG(
         db=PatternDB(args.db, durable=args.durable_db), config=config

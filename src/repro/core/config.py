@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analyzer.analyzer import AnalyzerConfig
+from repro.parser.parser import ParserConfig
 from repro.scanner.scanner import ScannerConfig
 
 __all__ = ["RTGConfig"]
@@ -63,6 +64,7 @@ class RTGConfig:
     #: fsync per transaction on the hot path
     db_durable: bool = False
     scanner: ScannerConfig = field(default_factory=ScannerConfig)
+    parser: ParserConfig = field(default_factory=ParserConfig)
     analyzer: AnalyzerConfig = field(default_factory=AnalyzerConfig)
 
     def __post_init__(self) -> None:

@@ -127,6 +127,10 @@ class ServiceBatchContext:
     unmatched_counts: list[int] = field(default_factory=list)
     #: pattern id -> occurrences matched this batch (ParseStage)
     match_counts: dict[str, int] = field(default_factory=dict)
+    #: candidate-frontier sizes of the parse matches actually performed
+    #: (one entry per distinct token signature matched through the batch
+    #: lane) — the ``rtg_parse_candidates`` telemetry (ParseStage)
+    parse_frontiers: list[int] = field(default_factory=list)
     #: pattern id -> originals worth storing as examples (ParseStage)
     match_examples: dict[str, list[str]] = field(default_factory=dict)
     #: token count -> (messages, multiplicities) (LengthPartitionStage)
@@ -195,21 +199,31 @@ class ParseStage(Stage):
         parser = rtg.parser_for(ctx.service)
         lane = rtg.fastpath if rtg.config.enable_fastpath else None
         example_cap = rtg.db.max_examples
-        have_patterns = len(parser) > 0
         counts, from_cache = ctx.counts, ctx.from_cache
-        for i, msg in enumerate(ctx.scanned):
+        scanned = ctx.scanned
+        hits: list = [None] * len(scanned)
+        if len(parser) > 0:
+            # recurring messages (the ones the scan cache served) go
+            # through the cross-batch match cache — the only ones worth
+            # its signature cost; everything else is matched as one
+            # batch, where ``match_many`` computes each distinct token
+            # signature once, so in-batch duplicates stop re-walking the
+            # pattern set even with the fast lane disabled
+            fresh: list[ScannedMessage] = []
+            fresh_at: list[int] = []
+            for i, msg in enumerate(scanned):
+                if from_cache is not None and from_cache[i]:
+                    hits[i] = lane.match(ctx.service, parser, msg)
+                else:
+                    fresh.append(msg)
+                    fresh_at.append(i)
+            if fresh:
+                for i, hit in zip(fresh_at, parser.match_many(fresh)):
+                    hits[i] = hit
+                ctx.parse_frontiers.extend(parser.last_frontiers)
+        for i, msg in enumerate(scanned):
             n = 1 if counts is None else counts[i]
-            if have_patterns:
-                # the match cache is only worth its signature cost for
-                # messages that recur across batches — exactly the ones
-                # the scan cache already served
-                hit = (
-                    lane.match(ctx.service, parser, msg)
-                    if from_cache is not None and from_cache[i]
-                    else parser.match(msg)
-                )
-            else:
-                hit = None
+            hit = hits[i]
             if hit is None:
                 ctx.unmatched.append(msg)
                 ctx.unmatched_counts.append(n)
@@ -387,6 +401,7 @@ def default_observers(rtg: "SequenceRTG") -> list[StageObserver]:
                 rtg.metrics,
                 db=rtg.db,
                 scan_backend=rtg.scanner.backend_name,
+                parse_backend=rtg.config.parser.backend,
             )
         )
     return observers

@@ -575,6 +575,7 @@ class PersistentParallelSequenceRTG:
                     self.metrics,
                     db=self.db,
                     scan_backend=self.config.scanner.backend,
+                    parse_backend=self.config.parser.backend,
                 )
             )
 

@@ -23,6 +23,7 @@ from repro.core.fastpath import FastPath
 from repro.core.patterndb import PatternDB
 from repro.core.records import LogRecord
 from repro.obs.metrics import MetricsRegistry
+from repro.parser import build_parser
 from repro.parser.parser import Parser
 from repro.scanner import build_scanner
 
@@ -64,10 +65,17 @@ class SequenceRTG:
 
     # ------------------------------------------------------------------
     def parser_for(self, service: str) -> Parser:
-        """Parser over the known patterns of *service* (cached)."""
+        """Parser over the known patterns of *service* (cached).
+
+        The backend is selected by ``config.parser.backend``; both
+        backends produce identical matches, so switching backends never
+        changes mined output.
+        """
         parser = self._parsers.get(service)
         if parser is None:
-            parser = Parser(self.db.load_service(service))
+            parser = build_parser(
+                self.db.load_service(service), self.config.parser
+            )
             self._parsers[service] = parser
         return parser
 

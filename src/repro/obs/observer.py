@@ -37,8 +37,9 @@ __all__ = [
 #: metric name -> help string, the single naming authority (docs table
 #: in docs/architecture.md mirrors this)
 METRIC_HELP = {
-    "rtg_stage_latency_seconds": "Wall-clock seconds per engine stage run (one observation per service group; scan runs carry the tokenizer backend label)",
+    "rtg_stage_latency_seconds": "Wall-clock seconds per engine stage run (one observation per service group; scan and parse runs carry their backend label)",
     "rtg_scan_tokens_total": "Tokens emitted by the scan stage, by service and tokenizer backend",
+    "rtg_parse_candidates": "Candidate-frontier size per parse-stage match (trie states visited by the reference parser backend, candidate programs considered by the compiled one), by backend",
     "rtg_records_total": "Log records entering the engine, by service",
     "rtg_matched_total": "Record occurrences matched by already-known patterns, by service",
     "rtg_unmatched_total": "Record occurrences passed on to the analyser, by service",
@@ -67,12 +68,20 @@ _FASTLANE_EVENTS = {
     "dedup_duplicates": ("dedup", "duplicate"),
 }
 
+#: Candidate-count buckets for ``rtg_parse_candidates``: frontiers are
+#: small integers (one pattern-length bucket of the service's set), not
+#: latencies, so the histogram uses a 1–2.5–5 ladder over counts.
+_CANDIDATE_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+)
+
 
 class MetricsObserver(StageObserver):
     """Publish the staged engine's execution into a metrics registry."""
 
     def __init__(self, registry: MetricsRegistry, db=None,
-                 batch_level: bool = True, scan_backend: str = "fsm") -> None:
+                 batch_level: bool = True, scan_backend: str = "fsm",
+                 parse_backend: str = "reference") -> None:
         self.registry = registry
         #: pattern database whose sizes are published at batch end (the
         #: shared DB serially, ``None`` inside pool workers)
@@ -83,9 +92,17 @@ class MetricsObserver(StageObserver):
         #: tokenizer backend label on scan-stage samples
         #: (``Scanner.backend_name``: "fsm" or "compiled")
         self.scan_backend = scan_backend
+        #: matcher backend label on parse-stage samples
+        #: (``Parser.backend_name``: "reference" or "compiled")
+        self.parse_backend = parse_backend
         self._stage_latency = registry.histogram(
             "rtg_stage_latency_seconds",
             METRIC_HELP["rtg_stage_latency_seconds"],
+        )
+        self._parse_candidates = registry.histogram(
+            "rtg_parse_candidates",
+            METRIC_HELP["rtg_parse_candidates"],
+            buckets=_CANDIDATE_BUCKETS,
         )
         self._scan_tokens = registry.counter(
             "rtg_scan_tokens_total", METRIC_HELP["rtg_scan_tokens_total"]
@@ -124,6 +141,14 @@ class MetricsObserver(StageObserver):
                 self._scan_tokens.inc(
                     tokens, service=ctx.service, backend=self.scan_backend
                 )
+            return
+        if stage == "parse":
+            self._stage_latency.observe(
+                elapsed, stage=stage, backend=self.parse_backend
+            )
+            observe = self._parse_candidates.observe
+            for frontier in ctx.parse_frontiers:
+                observe(frontier, backend=self.parse_backend)
             return
         self._stage_latency.observe(elapsed, stage=stage)
         if stage != "persist":

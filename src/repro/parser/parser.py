@@ -21,7 +21,13 @@ first-literal index: the first token narrows the frontier in O(1).
 
 Each pattern-set mutation bumps :attr:`Parser.version`; the fast lane's
 match caches (:mod:`repro.core.fastpath`) use the version to invalidate
-cached outcomes whenever the pattern set changes.
+cached outcomes whenever the pattern set changes.  The version contract
+is backend-agnostic: :class:`repro.parser.compiled.CompiledParser`, the
+table-driven second backend selected by :attr:`ParserConfig.backend`
+through :func:`repro.parser.build_parser`, bumps it identically and
+produces identical :class:`MatchResult`\\ s by construction.  Variable
+acceptance is answered by the precomputed tables of
+:mod:`repro.parser.acceptance`, shared by both backends.
 """
 
 from __future__ import annotations
@@ -30,10 +36,40 @@ from dataclasses import dataclass, field
 
 from repro.analyzer.enrich import enrich_tokens
 from repro.analyzer.pattern import Pattern, VarClass
+from repro.parser.acceptance import accepts as _accepts
 from repro.scanner.scanner import ScannedMessage
 from repro.scanner.token_types import Token, TokenType
 
-__all__ = ["Parser", "MatchResult"]
+__all__ = ["Parser", "ParserConfig", "MatchResult", "PARSER_BACKENDS"]
+
+#: Recognised values of :attr:`ParserConfig.backend`.
+PARSER_BACKENDS = ("reference", "compiled")
+
+#: Sentinel distinguishing "no cached outcome" from a cached None miss.
+_MISS = object()
+
+
+@dataclass(slots=True)
+class ParserConfig:
+    """Parser behaviour switches.
+
+    Mirrors :class:`repro.scanner.scanner.ScannerConfig`: the backend
+    string selects one of two implementations with identical match
+    output, resolved by :func:`repro.parser.build_parser`.
+    """
+
+    #: Matcher implementation: ``"reference"`` is the pointer-chasing
+    #: trie DFS (the executable specification), ``"compiled"`` the
+    #: table-driven flattened backend
+    #: (:class:`repro.parser.compiled.CompiledParser`) with identical
+    #: :class:`MatchResult` output.
+    backend: str = "reference"
+
+    def __post_init__(self) -> None:
+        if self.backend not in PARSER_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {PARSER_BACKENDS}, got {self.backend!r}"
+            )
 
 
 @dataclass(slots=True)
@@ -47,40 +83,18 @@ class MatchResult:
     static_matches: int
 
 
-def _accepts(vc: VarClass, tok: Token) -> bool:
-    """Can a variable of class *vc* consume token *tok*?"""
-    t = tok.type
-    if vc is VarClass.STRING:
-        return True
-    if vc is VarClass.ALNUM:
-        if t is TokenType.INTEGER:
-            return True
-        return t is TokenType.LITERAL and any(c.isalnum() for c in tok.text)
-    if vc is VarClass.INTEGER:
-        return t is TokenType.INTEGER
-    if vc is VarClass.FLOAT:
-        return t in (TokenType.FLOAT, TokenType.INTEGER)
-    if vc is VarClass.IPV4:
-        return t is TokenType.IPV4
-    if vc is VarClass.IPV6:
-        return t is TokenType.IPV6
-    if vc is VarClass.MAC:
-        return t is TokenType.MAC
-    if vc is VarClass.TIME:
-        return t is TokenType.TIME
-    if vc is VarClass.URL:
-        return t is TokenType.URL
-    if vc is VarClass.PATH:
-        return t is TokenType.PATH or (
-            t is TokenType.LITERAL and tok.text.startswith("/")
-        )
-    if vc is VarClass.EMAIL:
-        return t is TokenType.EMAIL
-    if vc is VarClass.HOST:
-        return t is TokenType.HOST
-    if vc is VarClass.REST:
-        return True  # handled specially: consumes the remainder
-    return False
+def _signature(tokens: list[Token]) -> tuple:
+    """Hashable ``(text, type)`` signature — the match-cache key.
+
+    Matching depends only on token texts and types (never positions or
+    spacing), so two messages with equal signatures produce the same
+    :class:`MatchResult` or the same miss against any parser; the fast
+    lane's :func:`repro.core.fastpath.token_signature` makes the same
+    promise with the same key.  Types are keyed by their value string —
+    strings cache their hash, the Python-level ``Enum.__hash__`` does
+    not, and this tuple is hashed on every cache probe.
+    """
+    return tuple([(t.text, t.type._value_) for t in tokens])
 
 
 class _Node:
@@ -103,6 +117,9 @@ class _Candidate:
 class Parser:
     """Match scanned messages against a set of known patterns."""
 
+    #: implementation label on parse-stage metrics samples
+    backend_name = "reference"
+
     def __init__(self, patterns: list[Pattern] | None = None, enrich: bool = True):
         #: one sub-trie per exact pattern token count
         self._exact: dict[int, _Node] = {}
@@ -112,8 +129,17 @@ class Parser:
         self._n_patterns = 0
         self._enrich = enrich
         #: bumped on every pattern-set mutation; match caches key their
-        #: validity on this
+        #: validity on this — a backend-agnostic contract: every backend
+        #: bumps it identically, so the fast lane's version-pinned match
+        #: caches work unchanged whichever implementation serves a service
         self.version = 0
+        #: candidate-frontier size of the last :meth:`match` call (trie
+        #: states visited here; candidate programs considered in the
+        #: compiled backend) — the ``rtg_parse_candidates`` telemetry
+        self.last_frontier = 0
+        #: frontier sizes of the matches the last :meth:`match_many`
+        #: call actually performed (one entry per distinct signature)
+        self.last_frontiers: list[int] = []
         for p in patterns or ():
             self.add_pattern(p)
 
@@ -169,6 +195,7 @@ class Parser:
         if tokens and tokens[-1].type is TokenType.REST:
             tokens = tokens[:-1]
         best: _Candidate | None = None
+        self.last_frontier = 0
         exact = self._exact.get(len(tokens))
         if exact is not None:
             best = self._search(exact, tokens, best)
@@ -181,6 +208,37 @@ class Parser:
             fields=best.fields,
             static_matches=best.static_matches,
         )
+
+    def match_many(
+        self, scanned: list[ScannedMessage]
+    ) -> list["MatchResult | None"]:
+        """Match a batch, computing each distinct token signature once.
+
+        Match outcomes are fully determined by the ``(text, type)``
+        signature, so messages that tokenise identically — duplicates,
+        whitespace variants, truncated multi-line remainders — share one
+        match (and one enrichment pass) instead of re-walking the trie
+        per occurrence.  Results are positionally parallel to *scanned*;
+        shared outcomes are the same :class:`MatchResult` object.
+        ``last_frontiers`` records the frontier size of each match
+        actually performed, in first-occurrence order.
+        """
+        results: list[MatchResult | None] = []
+        by_signature: dict[tuple, MatchResult | None] = {}
+        frontiers: list[int] = []
+        lookup = by_signature.get
+        match = self.match
+        append = results.append
+        miss = _MISS
+        for msg in scanned:
+            sig = _signature(msg.tokens)
+            hit = lookup(sig, miss)
+            if hit is miss:
+                hit = by_signature[sig] = match(msg)
+                frontiers.append(self.last_frontier)
+            append(hit)
+        self.last_frontiers = frontiers
+        return results
 
     def _search(
         self, root: _Node, tokens: list[Token], best: _Candidate | None
@@ -226,6 +284,7 @@ class Parser:
                     stack.append(
                         (idx + 1, child, static, bindings + ((name, tok.text),))
                     )
+        self.last_frontier += len(seen)
         return best
 
     @staticmethod

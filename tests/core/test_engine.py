@@ -23,6 +23,7 @@ from repro.core.parallel import ParallelSequenceRTG, PersistentParallelSequenceR
 from repro.core.patterndb import PatternDB
 from repro.core.pipeline import SequenceRTG
 from repro.core.records import LogRecord
+from repro.parser import PARSER_BACKENDS, ParserConfig
 from repro.workflow.stream import ProductionStream, StreamConfig
 
 NOW = datetime(2026, 1, 1, tzinfo=timezone.utc)
@@ -84,6 +85,53 @@ class TestCrossPathEquivalence:
                 rtg.analyze_by_service(batch, now=NOW)
             dumps.append(full_dump(rtg.db))
         assert dumps[0] == dumps[1]
+
+    @pytest.mark.parametrize("enable_fastpath", [True, False])
+    def test_parser_backend_does_not_change_the_dump(self, enable_fastpath):
+        """Both matcher backends mine the identical database."""
+        batches = batches_for_test()
+        dumps = []
+        for backend in PARSER_BACKENDS:
+            rtg = SequenceRTG(
+                db=PatternDB(),
+                config=RTGConfig(
+                    enable_fastpath=enable_fastpath,
+                    parser=ParserConfig(backend=backend),
+                ),
+            )
+            for batch in batches:
+                rtg.analyze_by_service(batch, now=NOW)
+            dumps.append(full_dump(rtg.db))
+        assert dumps[0]
+        assert dumps[0] == dumps[1]
+
+    def test_serial_cold_warm_bit_identical_with_compiled_parser(self):
+        """The compiled matcher keeps all three execution paths on the
+        reference backend's exact database."""
+        batches = batches_for_test()
+        reference = SequenceRTG(db=PatternDB(), config=RTGConfig())
+        for _ in reference.process_stream(batches, now=NOW):
+            pass
+        expected = full_dump(reference.db)
+        assert expected
+
+        config = RTGConfig(parser=ParserConfig(backend="compiled"))
+        serial = SequenceRTG(db=PatternDB(), config=config)
+        for _ in serial.process_stream(batches, now=NOW):
+            pass
+        assert full_dump(serial.db) == expected
+
+        cold = ParallelSequenceRTG(db=PatternDB(), config=config, n_workers=3)
+        for _ in cold.process_stream(batches, now=NOW):
+            pass
+        assert full_dump(cold.db) == expected
+
+        with PersistentParallelSequenceRTG(
+            db=PatternDB(), config=config, n_workers=3
+        ) as warm:
+            for _ in warm.process_stream(batches, now=NOW):
+                pass
+            assert full_dump(warm.db) == expected
 
 
 class _RecordingObserver(StageObserver):

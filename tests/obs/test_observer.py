@@ -51,9 +51,12 @@ class TestSerialPath:
         """One observation per stage per service group."""
         rtg, result = mined()
         hist = rtg.metrics.histogram("rtg_stage_latency_seconds")
-        # scan samples additionally carry the scanner backend label
+        # scan and parse samples additionally carry their backend label
         assert hist.count(stage="scan", backend="fsm") == result.n_services
-        for stage in ("parse", "partition_length", "analyze", "persist"):
+        assert (
+            hist.count(stage="parse", backend="reference") == result.n_services
+        )
+        for stage in ("partition_length", "analyze", "persist"):
             assert hist.count(stage=stage) == result.n_services
 
     def test_counters_agree_with_batch_result(self):
