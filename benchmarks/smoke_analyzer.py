@@ -1,0 +1,226 @@
+"""Analyser-backend smoke gate for CI.
+
+Compares the compiled flat-arena analyser against the reference
+per-node analysis trie on (service, token-count) partitions built from
+the seeded production stream — exactly the shape ``AnalyzeStage`` feeds
+the analyser — and gates on the compiled backend's contract:
+
+* **speed** — ≥2× analysed messages/s over the reference backend across
+  the full partition sweep;
+* **memory** — ≤5% max-RSS growth (each backend is measured in its own
+  subprocess via ``resource.getrusage``, so the parent's allocations
+  don't pollute the comparison);
+* **exactness** — zero pattern divergences (text, support, examples,
+  token structure, trie-node telemetry) on the corpus partitions with
+  enrichment on and off and on the weighted (deduplicated) path.
+
+Writes the measurements to ``results/BENCH_analyzer.json``.
+
+Deliberately small (a few seconds end to end) — this is a regression
+tripwire, not a benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_analyzer.py
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.analyzer import Analyzer, AnalyzerConfig, build_analyzer
+from repro.analyzer.compiled import CompiledAnalyzer
+from repro.scanner import Scanner
+from repro.workflow.stream import ProductionStream, StreamConfig
+
+RESULTS = Path(__file__).parent.parent / "results" / "BENCH_analyzer.json"
+
+SPEEDUP_GATE = 2.0
+RSS_GATE = 1.05  # ≤5% growth
+
+#: analysis corpus size — every message is unmatched (no known patterns),
+#: the analyse stage's worst case and the paper's cold-batch scenario
+N_MESSAGES = 20_000
+#: the exactness sweep mines every partition twice per config variation,
+#: so it runs on a smaller slice
+N_DIVERGENCE = 5_000
+REPEATS = 3
+#: subprocess invocations per backend; speed takes the best run, RSS
+#: the smallest (each run's peak carries allocator noise upward only)
+N_RUNS = 3
+
+
+def partitions(n: int):
+    """Scan the stream and partition per (service, token count), the
+    way the engine feeds the analyse stage.  A moderate duplicate
+    fraction keeps the corpus realistic without letting the compiled
+    backend's in-batch grouping dominate the arena comparison."""
+    stream = ProductionStream(
+        StreamConfig(n_services=40, seed=41, duplicate_fraction=0.25)
+    )
+    scanner = Scanner()
+    by_key: dict[tuple[str, int], list] = {}
+    for record in stream.records(n):
+        scanned = scanner.scan(record.message, service=record.service)
+        by_key.setdefault(
+            (record.service, scanned.token_count()), []
+        ).append(scanned)
+    return [by_key[key] for key in sorted(by_key)]
+
+
+def measure_backend(backend: str) -> dict:
+    """Analysed messages/s (best of REPEATS) and max RSS for one backend."""
+    parts = partitions(N_MESSAGES)
+    analyzer = build_analyzer(AnalyzerConfig(backend=backend))
+    # warm memos, arena and code paths before timing
+    for partition in parts[:5]:
+        analyzer.analyze(partition)
+    n_messages = sum(len(p) for p in parts)
+    n_patterns = 0
+    peak_nodes = 0
+    best = 0.0
+    for _ in range(REPEATS):
+        n_patterns = 0
+        peak_nodes = 0
+        t0 = time.perf_counter()
+        for partition in parts:
+            n_patterns += len(analyzer.analyze(partition))
+            if analyzer.last_trie_nodes > peak_nodes:
+                peak_nodes = analyzer.last_trie_nodes
+        elapsed = time.perf_counter() - t0
+        best = max(best, n_messages / elapsed)
+    return {
+        "backend": backend,
+        "messages": n_messages,
+        "partitions": len(parts),
+        "patterns": n_patterns,
+        "peak_trie_nodes": peak_nodes,
+        "messages_per_second": best,
+        "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def measure_in_subprocess(backend: str) -> dict:
+    """Run one backend's measurement in a fresh interpreter."""
+    proc = subprocess.run(
+        [sys.executable, __file__, "--backend", backend],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def best_of_runs(backend: str) -> dict:
+    runs = [measure_in_subprocess(backend) for _ in range(N_RUNS)]
+    best = max(runs, key=lambda r: r["messages_per_second"])
+    best["max_rss_kb"] = min(r["max_rss_kb"] for r in runs)
+    return best
+
+
+def fingerprint(pattern) -> tuple:
+    return (
+        pattern.text,
+        pattern.service,
+        pattern.support,
+        tuple(pattern.examples),
+        tuple(
+            (t.is_variable, t.text, str(t.var_class), t.name, t.is_space_before)
+            for t in pattern.tokens
+        ),
+    )
+
+
+def count_divergences() -> int:
+    """Pattern divergences across partitions, config modes and the
+    weighted (deduplicated fast-lane) insertion path."""
+    parts = partitions(N_DIVERGENCE)
+    divergences = 0
+    for enrich in (True, False):
+        ref = Analyzer(AnalyzerConfig(enrich=enrich))
+        comp = CompiledAnalyzer(AnalyzerConfig(backend="compiled", enrich=enrich))
+        for partition in parts:
+            a = ref.analyze(partition)
+            b = comp.analyze(partition)
+            if ref.last_trie_nodes != comp.last_trie_nodes:
+                divergences += 1
+            if [fingerprint(p) for p in a] != [fingerprint(p) for p in b]:
+                divergences += 1
+    # weighted path: distinct messages with multiplicities must mine the
+    # per-occurrence result on both backends
+    ref = Analyzer(AnalyzerConfig())
+    comp = CompiledAnalyzer(AnalyzerConfig(backend="compiled"))
+    for partition in parts:
+        seen: dict[str, int] = {}
+        uniques = []
+        for msg in partition:
+            if msg.original not in seen:
+                seen[msg.original] = 0
+                uniques.append(msg)
+            seen[msg.original] += 1
+        counts = [seen[m.original] for m in uniques]
+        expected = [fingerprint(p) for p in ref.analyze(partition)]
+        if expected != [
+            fingerprint(p) for p in comp.analyze(uniques, counts=counts)
+        ]:
+            divergences += 1
+    return divergences
+
+
+def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--backend":
+        print(json.dumps(measure_backend(sys.argv[2])))
+        return 0
+
+    reference = best_of_runs("reference")
+    compiled = best_of_runs("compiled")
+    divergences = count_divergences()
+
+    speedup = compiled["messages_per_second"] / reference["messages_per_second"]
+    rss_ratio = compiled["max_rss_kb"] / reference["max_rss_kb"]
+
+    speed_ok = speedup >= SPEEDUP_GATE
+    rss_ok = rss_ratio <= RSS_GATE
+    exact_ok = divergences == 0
+    ok = speed_ok and rss_ok and exact_ok
+
+    report = {
+        "reference": reference,
+        "compiled": compiled,
+        "speedup": speedup,
+        "speedup_gate": SPEEDUP_GATE,
+        "rss_ratio": rss_ratio,
+        "rss_gate": RSS_GATE,
+        "divergences": divergences,
+        "ok": ok,
+    }
+    RESULTS.parent.mkdir(exist_ok=True)
+    RESULTS.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"analyze throughput: reference "
+        f"{reference['messages_per_second']:,.0f} msg/s, "
+        f"compiled {compiled['messages_per_second']:,.0f} msg/s — "
+        f"{speedup:.2f}x (gate: ≥{SPEEDUP_GATE}x) — "
+        f"{'OK' if speed_ok else 'FAIL'}"
+    )
+    print(
+        f"max RSS: reference {reference['max_rss_kb']:,} kB, "
+        f"compiled {compiled['max_rss_kb']:,} kB — "
+        f"{rss_ratio:.3f}x (gate: ≤{RSS_GATE}x) — "
+        f"{'OK' if rss_ok else 'FAIL'}"
+    )
+    print(
+        f"equivalence: {divergences} divergences on partitions, "
+        f"enrich on/off + weighted path — {'OK' if exact_ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,13 @@ message pays in the paper's production deployment) on a realistic
 duplicate-carrying stream and exits non-zero if it drops below the
 paper's sustained requirement of 100M messages/day ≈ 1,160 msgs/s.
 
+Additionally mines one cold batch (everything unmatched — the miner's
+worst case) under the default all-reference configuration and under the
+all-compiled configuration (scanner, parser and analyser backends set
+to ``compiled``), and writes the per-stage msgs/s breakdown to the
+``stages`` section of ``results/BENCH_throughput.json`` so the analyze
+share of end-to-end mining stays visible to future PRs.
+
 Deliberately small (a few seconds end to end) — this is a regression
 tripwire, not a benchmark.  Run the full suite with
 ``pytest benchmarks/`` for real numbers.
@@ -16,13 +23,78 @@ Usage::
 
 from __future__ import annotations
 
+import json
 import sys
+import time
+from pathlib import Path
 
+from repro.analyzer import AnalyzerConfig
+from repro.core.config import RTGConfig
 from repro.core.patterndb import PatternDB
 from repro.core.pipeline import SequenceRTG
+from repro.parser import ParserConfig
+from repro.scanner import ScannerConfig
 from repro.workflow.stream import ProductionStream, StreamConfig
 
 PAPER_RATE_PER_SECOND = 100_000_000 / 86_400
+
+RESULTS = Path(__file__).parent.parent / "results" / "BENCH_throughput.json"
+
+#: the workflow stages whose per-stage seconds BatchResult reports
+STAGES = ("scan", "parse", "partition_length", "analyze", "persist")
+
+#: cold-mine corpus — matches bench_throughput's mining benchmark shape
+N_MINE = 5_000
+MINE_REPEATS = 3
+
+CONFIGS = {
+    "reference": RTGConfig(),
+    "compiled": RTGConfig(
+        scanner=ScannerConfig(backend="compiled"),
+        parser=ParserConfig(backend="compiled"),
+        analyzer=AnalyzerConfig(backend="compiled"),
+    ),
+}
+
+
+def measure_stages(config: RTGConfig) -> dict:
+    """Cold-mine one batch (best of MINE_REPEATS) and break the run
+    down per stage: msgs/s and share of total batch seconds."""
+    records = list(
+        ProductionStream(StreamConfig(n_services=60, seed=32)).records(N_MINE)
+    )
+    best_seconds = float("inf")
+    best_timings: dict[str, float] = {}
+    for _ in range(MINE_REPEATS):
+        rtg = SequenceRTG(db=PatternDB(), config=config)
+        t0 = time.perf_counter()
+        result = rtg.analyze_by_service(records)
+        seconds = time.perf_counter() - t0
+        assert result.n_new_patterns > 0
+        if seconds < best_seconds:
+            best_seconds = seconds
+            best_timings = dict(result.timings)
+    report: dict = {"mine_msgs_per_s": round(len(records) / best_seconds)}
+    for stage in STAGES:
+        stage_seconds = best_timings.get(stage, 0.0)
+        report[stage] = {
+            "msgs_per_s": round(len(records) / stage_seconds)
+            if stage_seconds
+            else None,
+            "share": round(stage_seconds / best_seconds, 3),
+        }
+    return report
+
+
+def record_stages(stages: dict) -> None:
+    """Merge the ``stages`` section into results/BENCH_throughput.json
+    (same merge discipline as bench_throughput's ``_record_bench``)."""
+    RESULTS.parent.mkdir(exist_ok=True)
+    data: dict = {"paper_gate_msgs_per_s": round(PAPER_RATE_PER_SECOND, 1)}
+    if RESULTS.exists():
+        data = json.loads(RESULTS.read_text())
+    data["stages"] = stages
+    RESULTS.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def main() -> int:
@@ -48,7 +120,27 @@ def main() -> int:
         f"(gate: {PAPER_RATE_PER_SECOND:,.0f} msgs/s) — "
         f"{'OK' if ok else 'FAIL'}"
     )
-    return 0 if ok else 1
+
+    stages = {name: measure_stages(config) for name, config in CONFIGS.items()}
+    record_stages(stages)
+    for name, report in stages.items():
+        shares = ", ".join(
+            f"{stage} {report[stage]['share']:.0%}" for stage in STAGES
+        )
+        print(
+            f"cold mine [{name}]: {report['mine_msgs_per_s']:,} msgs/s "
+            f"({shares})"
+        )
+    # the compiled production configuration must not mine slower than
+    # the reference path it replaces
+    compiled_ok = (
+        stages["compiled"]["mine_msgs_per_s"]
+        >= stages["reference"]["mine_msgs_per_s"]
+    )
+    if not compiled_ok:
+        print("FAIL: all-compiled configuration mines slower than reference")
+
+    return 0 if ok and compiled_ok else 1
 
 
 if __name__ == "__main__":

@@ -15,12 +15,25 @@ Two analysers are provided:
   the whole data set regardless of service or length, with the original
   pairwise same-level comparison whose cost grows super-linearly with
   trie width (the behaviour visible in the paper's Fig. 5).
+
+The Sequence-RTG analyser has two interchangeable backends —
+:class:`Analyzer`, the reference per-node trie, and
+:class:`~repro.analyzer.compiled.CompiledAnalyzer`, a flat
+array-of-columns arena with batch insertion and bucketed sibling
+merging, bit-identical pattern output — selected by
+:attr:`AnalyzerConfig.backend` through :func:`build_analyzer`.
 """
 
-from repro.analyzer.analyzer import Analyzer, AnalyzerConfig, LegacyAnalyzer
+from repro.analyzer.analyzer import (
+    ANALYZER_BACKENDS,
+    Analyzer,
+    AnalyzerConfig,
+    LegacyAnalyzer,
+)
 from repro.analyzer.pattern import Pattern, PatternToken, UnknownTagError, VarClass
 
 __all__ = [
+    "ANALYZER_BACKENDS",
     "Analyzer",
     "AnalyzerConfig",
     "LegacyAnalyzer",
@@ -28,4 +41,25 @@ __all__ = [
     "PatternToken",
     "UnknownTagError",
     "VarClass",
+    "build_analyzer",
 ]
+
+
+def build_analyzer(config: AnalyzerConfig | None = None):
+    """Construct the analyser backend *config* selects.
+
+    ``"reference"`` (the default) is the per-node object trie — the
+    executable specification; ``"compiled"`` runs the same insertion,
+    merge and fold rules over a flat node arena with batch insertion.
+    Both emit byte-identical :class:`Pattern` lists; the compiled one
+    trades a little interning bookkeeping for much higher per-partition
+    analysis throughput.
+    """
+    config = config or AnalyzerConfig()
+    if config.backend == "compiled":
+        # imported lazily so the default path never pays for a backend
+        # it does not use
+        from repro.analyzer.compiled import CompiledAnalyzer
+
+        return CompiledAnalyzer(config)
+    return Analyzer(config)

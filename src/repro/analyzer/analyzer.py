@@ -28,7 +28,12 @@ from repro.analyzer.pattern import Pattern, PatternToken, VarClass
 from repro.analyzer.trie import END_KEY, AnalysisTrie, TrieNode
 from repro.scanner.scanner import ScannedMessage
 
-__all__ = ["Analyzer", "AnalyzerConfig", "LegacyAnalyzer"]
+__all__ = ["ANALYZER_BACKENDS", "Analyzer", "AnalyzerConfig", "LegacyAnalyzer"]
+
+#: Selectable analyser implementations: the reference per-node trie
+#: walk, and the flat array-of-columns backend of
+#: :mod:`repro.analyzer.compiled`.
+ANALYZER_BACKENDS = ("reference", "compiled")
 
 # Variable classes that are never folded back to constants: a timestamp
 # that happened to repeat within one batch will still differ in the next.
@@ -63,6 +68,18 @@ class AnalyzerConfig:
     #: LegacyAnalyzer only: similarity used by the original pairwise
     #: same-level comparison (merges at group size >= 2, no threshold)
     legacy_similarity: float = 0.5
+    #: Which implementation :func:`repro.analyzer.build_analyzer`
+    #: constructs: ``"reference"`` (this module's :class:`Analyzer`) or
+    #: ``"compiled"`` (:class:`repro.analyzer.compiled.CompiledAnalyzer`,
+    #: bit-identical patterns from a flat arena trie).
+    backend: str = "reference"
+
+    def __post_init__(self) -> None:
+        if self.backend not in ANALYZER_BACKENDS:
+            raise ValueError(
+                f"unknown analyzer backend {self.backend!r}; "
+                f"expected one of {ANALYZER_BACKENDS}"
+            )
 
 
 def _wordlike(text: str) -> bool:
@@ -123,9 +140,19 @@ def _similarity_groups(
 class _BaseAnalyzer:
     """Shared trie construction and pattern emission."""
 
+    #: implementation label carried into metrics (the compiled backend
+    #: overrides it)
+    backend_name = "reference"
+
     def __init__(self, config: AnalyzerConfig | None = None) -> None:
         self.config = config or AnalyzerConfig()
         self.last_trie_nodes = 0  # memory telemetry for the benchmarks
+        # one trie per analyser, reset between partitions: the engine's
+        # analyze stage walks every (service, token-count) partition of a
+        # batch through a single analyser instance, so reusing the
+        # front-end object (and dropping the node graph in one step)
+        # beats reallocating scratch state per partition
+        self._trie = AnalysisTrie()
 
     # -- construction ---------------------------------------------------
     def _build(
@@ -133,7 +160,8 @@ class _BaseAnalyzer:
         messages: list[ScannedMessage],
         counts: list[int] | None = None,
     ) -> AnalysisTrie:
-        trie = AnalysisTrie()
+        trie = self._trie
+        trie.reset()
         for i, msg in enumerate(messages):
             tokens = enrich_tokens(msg.tokens) if self.config.enrich else msg.tokens
             trie.insert(msg, tokens, n=1 if counts is None else counts[i])

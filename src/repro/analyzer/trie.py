@@ -113,6 +113,17 @@ class AnalysisTrie:
         self.root = TrieNode()
         self.n_messages = 0
 
+    def reset(self) -> None:
+        """Discard all inserted state so the trie can be rebuilt.
+
+        The analyser keeps one trie per instance and resets it between
+        length partitions instead of allocating a fresh
+        :class:`AnalysisTrie` per call; dropping the root releases the
+        whole node graph in one step.
+        """
+        self.root = TrieNode()
+        self.n_messages = 0
+
     def insert(self, message: ScannedMessage, tokens: list[Token], n: int = 1) -> None:
         """Insert one scanned (and enriched) message, counted *n* times.
 

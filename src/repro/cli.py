@@ -30,6 +30,7 @@ from repro.core.ingest import StreamIngester
 from repro.core.patterndb import PatternDB
 from repro.core.pipeline import SequenceRTG
 from repro.core.records import LogRecord
+from repro.analyzer.analyzer import ANALYZER_BACKENDS, AnalyzerConfig
 from repro.parser.parser import PARSER_BACKENDS, ParserConfig
 from repro.scanner.scanner import SCANNER_BACKENDS, ScannerConfig
 
@@ -69,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="pattern matcher implementation: the reference parse-trie "
         "DFS or the compiled table-driven backend (identical match "
         "output, higher throughput)",
+    )
+    parser.add_argument(
+        "--analyzer-backend",
+        choices=ANALYZER_BACKENDS,
+        default="reference",
+        help="pattern miner implementation: the reference per-node "
+        "analysis trie or the compiled flat-arena backend (identical "
+        "pattern output, higher throughput)",
     )
     parser.add_argument(
         "--durable-db",
@@ -183,6 +192,7 @@ def _make_rtg(args: argparse.Namespace, batch_size: int = 100_000) -> SequenceRT
             backend=args.scanner_backend,
         ),
         parser=ParserConfig(backend=args.parser_backend),
+        analyzer=AnalyzerConfig(backend=args.analyzer_backend),
     )
     return SequenceRTG(
         db=PatternDB(args.db, durable=args.durable_db), config=config

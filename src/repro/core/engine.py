@@ -40,7 +40,7 @@ from datetime import datetime
 from typing import TYPE_CHECKING
 
 from repro._util.timers import StageTimer
-from repro.analyzer.analyzer import Analyzer
+from repro.analyzer import build_analyzer
 from repro.analyzer.pattern import Pattern
 from repro.core.fastpath import FastPath
 from repro.core.records import LogRecord
@@ -144,6 +144,9 @@ class ServiceBatchContext:
     new_patterns: list[Pattern] = field(default_factory=list)
     n_below_threshold: int = 0
     max_trie_nodes: int = 0
+    #: analysis-trie node count of every length partition mined for this
+    #: group (AnalyzeStage) — the ``rtg_analyze_trie_nodes`` telemetry
+    trie_node_sizes: list[int] = field(default_factory=list)
 
 
 # ----------------------------------------------------------------------
@@ -254,13 +257,20 @@ class LengthPartitionStage(Stage):
 
 
 class AnalyzeStage(Stage):
-    """Mine each length partition in its own analysis trie."""
+    """Mine each length partition in its own analysis trie.
+
+    One analyser instance — reference or compiled, per
+    :attr:`AnalyzerConfig.backend` — serves every partition of every
+    batch: its trie scratch state (the node graph, or the compiled
+    backend's node arena and interning memos) is reset and reused across
+    the partition loop instead of reallocated per call.
+    """
 
     name = "analyze"
 
     def __init__(self, rtg: "SequenceRTG") -> None:
         super().__init__(rtg)
-        self._analyzer = Analyzer(rtg.config.analyzer)
+        self._analyzer = build_analyzer(rtg.config.analyzer)
 
     def run(self, ctx: ServiceBatchContext) -> None:
         analyzer = self._analyzer
@@ -269,6 +279,7 @@ class AnalyzeStage(Stage):
             patterns = analyzer.analyze(
                 partition, counts=partition_counts if weighted else None
             )
+            ctx.trie_node_sizes.append(analyzer.last_trie_nodes)
             ctx.max_trie_nodes = max(ctx.max_trie_nodes, analyzer.last_trie_nodes)
             for pattern in patterns:
                 pattern.service = ctx.service
@@ -402,6 +413,7 @@ def default_observers(rtg: "SequenceRTG") -> list[StageObserver]:
                 db=rtg.db,
                 scan_backend=rtg.scanner.backend_name,
                 parse_backend=rtg.config.parser.backend,
+                analyze_backend=rtg.config.analyzer.backend,
             )
         )
     return observers

@@ -576,6 +576,7 @@ class PersistentParallelSequenceRTG:
                     db=self.db,
                     scan_backend=self.config.scanner.backend,
                     parse_backend=self.config.parser.backend,
+                    analyze_backend=self.config.analyzer.backend,
                 )
             )
 

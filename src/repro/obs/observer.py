@@ -37,9 +37,10 @@ __all__ = [
 #: metric name -> help string, the single naming authority (docs table
 #: in docs/architecture.md mirrors this)
 METRIC_HELP = {
-    "rtg_stage_latency_seconds": "Wall-clock seconds per engine stage run (one observation per service group; scan and parse runs carry their backend label)",
+    "rtg_stage_latency_seconds": "Wall-clock seconds per engine stage run (one observation per service group; scan, parse and analyze runs carry their backend label)",
     "rtg_scan_tokens_total": "Tokens emitted by the scan stage, by service and tokenizer backend",
     "rtg_parse_candidates": "Candidate-frontier size per parse-stage match (trie states visited by the reference parser backend, candidate programs considered by the compiled one), by backend",
+    "rtg_analyze_trie_nodes": "Analysis-trie node count per mined length partition (peak footprint before sibling merging), by analyser backend",
     "rtg_records_total": "Log records entering the engine, by service",
     "rtg_matched_total": "Record occurrences matched by already-known patterns, by service",
     "rtg_unmatched_total": "Record occurrences passed on to the analyser, by service",
@@ -75,13 +76,21 @@ _CANDIDATE_BUCKETS: tuple[float, ...] = (
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
 )
 
+#: Node-count buckets for ``rtg_analyze_trie_nodes``: a partition's trie
+#: holds one node per distinct edge plus END markers, from a handful for
+#: a converged stream up to tens of thousands on a cold batch.
+_TRIE_NODE_BUCKETS: tuple[float, ...] = (
+    10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+)
+
 
 class MetricsObserver(StageObserver):
     """Publish the staged engine's execution into a metrics registry."""
 
     def __init__(self, registry: MetricsRegistry, db=None,
                  batch_level: bool = True, scan_backend: str = "fsm",
-                 parse_backend: str = "reference") -> None:
+                 parse_backend: str = "reference",
+                 analyze_backend: str = "reference") -> None:
         self.registry = registry
         #: pattern database whose sizes are published at batch end (the
         #: shared DB serially, ``None`` inside pool workers)
@@ -95,6 +104,9 @@ class MetricsObserver(StageObserver):
         #: matcher backend label on parse-stage samples
         #: (``Parser.backend_name``: "reference" or "compiled")
         self.parse_backend = parse_backend
+        #: analyser backend label on analyze-stage samples
+        #: (``AnalyzerConfig.backend``: "reference" or "compiled")
+        self.analyze_backend = analyze_backend
         self._stage_latency = registry.histogram(
             "rtg_stage_latency_seconds",
             METRIC_HELP["rtg_stage_latency_seconds"],
@@ -103,6 +115,11 @@ class MetricsObserver(StageObserver):
             "rtg_parse_candidates",
             METRIC_HELP["rtg_parse_candidates"],
             buckets=_CANDIDATE_BUCKETS,
+        )
+        self._trie_nodes = registry.histogram(
+            "rtg_analyze_trie_nodes",
+            METRIC_HELP["rtg_analyze_trie_nodes"],
+            buckets=_TRIE_NODE_BUCKETS,
         )
         self._scan_tokens = registry.counter(
             "rtg_scan_tokens_total", METRIC_HELP["rtg_scan_tokens_total"]
@@ -149,6 +166,14 @@ class MetricsObserver(StageObserver):
             observe = self._parse_candidates.observe
             for frontier in ctx.parse_frontiers:
                 observe(frontier, backend=self.parse_backend)
+            return
+        if stage == "analyze":
+            self._stage_latency.observe(
+                elapsed, stage=stage, backend=self.analyze_backend
+            )
+            observe = self._trie_nodes.observe
+            for nodes in ctx.trie_node_sizes:
+                observe(nodes, backend=self.analyze_backend)
             return
         self._stage_latency.observe(elapsed, stage=stage)
         if stage != "persist":

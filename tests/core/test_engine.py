@@ -23,7 +23,9 @@ from repro.core.parallel import ParallelSequenceRTG, PersistentParallelSequenceR
 from repro.core.patterndb import PatternDB
 from repro.core.pipeline import SequenceRTG
 from repro.core.records import LogRecord
+from repro.analyzer import ANALYZER_BACKENDS, AnalyzerConfig
 from repro.parser import PARSER_BACKENDS, ParserConfig
+from repro.scanner import ScannerConfig
 from repro.workflow.stream import ProductionStream, StreamConfig
 
 NOW = datetime(2026, 1, 1, tzinfo=timezone.utc)
@@ -116,6 +118,61 @@ class TestCrossPathEquivalence:
         assert expected
 
         config = RTGConfig(parser=ParserConfig(backend="compiled"))
+        serial = SequenceRTG(db=PatternDB(), config=config)
+        for _ in serial.process_stream(batches, now=NOW):
+            pass
+        assert full_dump(serial.db) == expected
+
+        cold = ParallelSequenceRTG(db=PatternDB(), config=config, n_workers=3)
+        for _ in cold.process_stream(batches, now=NOW):
+            pass
+        assert full_dump(cold.db) == expected
+
+        with PersistentParallelSequenceRTG(
+            db=PatternDB(), config=config, n_workers=3
+        ) as warm:
+            for _ in warm.process_stream(batches, now=NOW):
+                pass
+            assert full_dump(warm.db) == expected
+
+    @pytest.mark.parametrize("enable_fastpath", [True, False])
+    def test_analyzer_backend_does_not_change_the_dump(self, enable_fastpath):
+        """Both miner backends produce the identical database.  With the
+        fast lane off the analyser receives raw per-occurrence
+        partitions, exercising the compiled backend's in-batch
+        signature grouping."""
+        batches = batches_for_test()
+        dumps = []
+        for backend in ANALYZER_BACKENDS:
+            rtg = SequenceRTG(
+                db=PatternDB(),
+                config=RTGConfig(
+                    enable_fastpath=enable_fastpath,
+                    analyzer=AnalyzerConfig(backend=backend),
+                ),
+            )
+            for batch in batches:
+                rtg.analyze_by_service(batch, now=NOW)
+            dumps.append(full_dump(rtg.db))
+        assert dumps[0]
+        assert dumps[0] == dumps[1]
+
+    def test_serial_cold_warm_bit_identical_all_compiled(self):
+        """Satellite: scanner, parser and analyser all compiled at once —
+        the three backends compose, and every execution path stays on
+        the all-reference database."""
+        batches = batches_for_test()
+        reference = SequenceRTG(db=PatternDB(), config=RTGConfig())
+        for _ in reference.process_stream(batches, now=NOW):
+            pass
+        expected = full_dump(reference.db)
+        assert expected
+
+        config = RTGConfig(
+            scanner=ScannerConfig(backend="compiled"),
+            parser=ParserConfig(backend="compiled"),
+            analyzer=AnalyzerConfig(backend="compiled"),
+        )
         serial = SequenceRTG(db=PatternDB(), config=config)
         for _ in serial.process_stream(batches, now=NOW):
             pass

@@ -51,13 +51,27 @@ class TestSerialPath:
         """One observation per stage per service group."""
         rtg, result = mined()
         hist = rtg.metrics.histogram("rtg_stage_latency_seconds")
-        # scan and parse samples additionally carry their backend label
+        # scan, parse and analyze samples additionally carry their
+        # backend label
         assert hist.count(stage="scan", backend="fsm") == result.n_services
         assert (
             hist.count(stage="parse", backend="reference") == result.n_services
         )
-        for stage in ("partition_length", "analyze", "persist"):
+        assert (
+            hist.count(stage="analyze", backend="reference")
+            == result.n_services
+        )
+        for stage in ("partition_length", "persist"):
             assert hist.count(stage=stage) == result.n_services
+
+    def test_analyze_trie_nodes_histogram(self):
+        """One trie-node observation per mined length partition, labelled
+        with the analyser backend."""
+        rtg, result = mined()
+        hist = rtg.metrics.histogram("rtg_analyze_trie_nodes")
+        assert result.n_partitions > 0
+        assert hist.count(backend="reference") == result.n_partitions
+        assert hist.sum(backend="reference") >= result.n_partitions
 
     def test_counters_agree_with_batch_result(self):
         rtg, result = mined()
