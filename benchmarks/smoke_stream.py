@@ -1,0 +1,207 @@
+"""Stream-mode smoke gate for CI.
+
+Three tripwires around the online execution mode:
+
+1. **p99 per-message latency** — a `StreamDriver` fed the production
+   simulation one record at a time must keep its p99 per-message
+   latency (scan+parse+persist amortised over the micro-batch) under
+   ``P99_GATE_S``.  This is the stream mode's reason to exist: batch
+   mode's per-message latency is the whole batch accumulation period.
+
+2. **batch regression** — the incremental-core refactor made batch mode
+   a special case of the evolving analyser; serial cold-mine throughput
+   must stay within ``BATCH_REGRESSION`` of the recorded baseline in
+   ``results/BENCH_throughput.json`` (``stages.reference.mine_msgs_per_s``).
+
+3. **convergence** — the streaming pattern set on the 60-day production
+   simulation must agree with single-run batch output on at least
+   ``CONVERGENCE_GATE`` of messages by template.
+
+Writes ``results/BENCH_stream.json``.  Deliberately small — a
+regression tripwire, not a benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_stream.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core.config import RTGConfig, StreamingConfig
+from repro.core.patterndb import PatternDB
+from repro.core.pipeline import SequenceRTG
+from repro.parser.parser import Parser
+from repro.scanner import build_scanner
+from repro.workflow.stream import ProductionStream, StreamConfig
+
+RESULTS = Path(__file__).parent.parent / "results" / "BENCH_stream.json"
+THROUGHPUT_BASELINE = RESULTS.parent / "BENCH_throughput.json"
+
+NOW = datetime(2026, 1, 1, tzinfo=timezone.utc)
+
+#: p99 per-message latency gate (seconds) — generous against CI-runner
+#: jitter; production numbers land well under a millisecond
+P99_GATE_S = 0.050
+#: serial cold-mine throughput must stay within 5% of the baseline
+BATCH_REGRESSION = 0.95
+#: stream/batch template agreement on the 60-day simulation
+CONVERGENCE_GATE = 0.95
+
+#: the convergence simulation (mirrors tests/core/test_streaming.py)
+N_DAYS, PER_DAY = 60, 150
+
+STREAMING = StreamingConfig(
+    micro_batch_size=25,
+    flush_pending=512,
+    split_min_matches=256,
+)
+
+
+def measure_stream() -> tuple[dict, "SequenceRTG", list]:
+    """Drive the 60-day simulation through a StreamDriver; report
+    latency quantiles and maintenance counters."""
+    source = ProductionStream(
+        StreamConfig(n_services=8, seed=13, duplicate_fraction=0.3)
+    )
+    days = source.days(N_DAYS, PER_DAY, churn_per_day=1)
+    rtg = SequenceRTG(
+        db=PatternDB(), config=RTGConfig(mode="stream", streaming=STREAMING)
+    )
+    driver = rtg.stream_driver()
+    began = time.perf_counter()
+    for day in days:
+        driver.feed(day, now=NOW)
+    driver.close()
+    seconds = time.perf_counter() - began
+    stats = driver.stats
+    report = {
+        "n_messages": stats.n_messages,
+        "msgs_per_s": round(stats.n_messages / seconds),
+        "p50_latency_ms": round(driver.latency_quantile(0.5) * 1e3, 4),
+        "p99_latency_ms": round(driver.p99() * 1e3, 4),
+        "n_micro_batches": stats.n_micro_batches,
+        "n_flushes": stats.n_flushes,
+        "n_new_patterns": stats.n_new_patterns,
+        "n_drift_merges": stats.n_drift_merges,
+        "n_drift_splits": stats.n_drift_splits,
+        "n_evicted": stats.n_evicted,
+    }
+    return report, rtg, days
+
+
+def measure_convergence(stream_rtg: SequenceRTG, days: list) -> float:
+    """Template agreement between the streamed pattern set and batch
+    output over the full horizon (both sides parse every record)."""
+    records = [record for day in days for record in day]
+    batch_rtg = SequenceRTG(db=PatternDB())
+    batch_rtg.analyze_by_service(records, now=NOW)
+
+    scanner = build_scanner()
+    batch_parsers: dict[str, Parser] = {}
+    stream_parsers: dict[str, Parser] = {}
+    agree = 0
+    for record in records:
+        service = record.service
+        batch_parser = batch_parsers.get(service)
+        if batch_parser is None:
+            batch_parser = batch_parsers[service] = Parser(
+                batch_rtg.db.load_service(service)
+            )
+            stream_parsers[service] = Parser(
+                stream_rtg.db.load_service(service)
+            )
+        scanned = scanner.scan(record.message, service=service)
+        batch_hit = batch_parser.match(scanned)
+        stream_hit = stream_parsers[service].match(scanned)
+        if (batch_hit is None) == (stream_hit is None) and (
+            batch_hit is None
+            or batch_hit.pattern.text == stream_hit.pattern.text
+        ):
+            agree += 1
+    return agree / len(records)
+
+
+def measure_batch_mine() -> int:
+    """Serial cold-mine msgs/s, same corpus as smoke_throughput."""
+    records = list(
+        ProductionStream(StreamConfig(n_services=60, seed=32)).records(5_000)
+    )
+    best = float("inf")
+    for _ in range(3):
+        rtg = SequenceRTG(db=PatternDB())
+        t0 = time.perf_counter()
+        result = rtg.analyze_by_service(records)
+        best = min(best, time.perf_counter() - t0)
+        assert result.n_new_patterns > 0
+    return round(len(records) / best)
+
+
+def batch_baseline() -> int | None:
+    if not THROUGHPUT_BASELINE.exists():
+        return None
+    data = json.loads(THROUGHPUT_BASELINE.read_text())
+    return data.get("stages", {}).get("reference", {}).get("mine_msgs_per_s")
+
+
+def main() -> int:
+    stream_report, stream_rtg, days = measure_stream()
+    p99_s = stream_report["p99_latency_ms"] / 1e3
+    p99_ok = p99_s < P99_GATE_S
+    print(
+        f"stream: {stream_report['msgs_per_s']:,} msgs/s, "
+        f"p99 {stream_report['p99_latency_ms']:.3f} ms "
+        f"(gate: {P99_GATE_S * 1e3:.0f} ms) — {'OK' if p99_ok else 'FAIL'}"
+    )
+
+    convergence = measure_convergence(stream_rtg, days)
+    convergence_ok = convergence >= CONVERGENCE_GATE
+    print(
+        f"convergence: {convergence:.3f} template agreement over "
+        f"{N_DAYS} days (gate: {CONVERGENCE_GATE}) — "
+        f"{'OK' if convergence_ok else 'FAIL'}"
+    )
+
+    mine_rate = measure_batch_mine()
+    baseline = batch_baseline()
+    if baseline:
+        floor = BATCH_REGRESSION * baseline
+        batch_ok = mine_rate >= floor
+        print(
+            f"batch mine: {mine_rate:,} msgs/s "
+            f"(floor: {floor:,.0f} = {BATCH_REGRESSION:.0%} of baseline "
+            f"{baseline:,}) — {'OK' if batch_ok else 'FAIL'}"
+        )
+    else:
+        batch_ok = True
+        print(f"batch mine: {mine_rate:,} msgs/s (no recorded baseline)")
+
+    RESULTS.parent.mkdir(exist_ok=True)
+    data: dict = {}
+    if RESULTS.exists():
+        data = json.loads(RESULTS.read_text())
+    data.update(
+        {
+            "gates": {
+                "p99_latency_s": P99_GATE_S,
+                "batch_regression": BATCH_REGRESSION,
+                "convergence": CONVERGENCE_GATE,
+            },
+            "stream": stream_report,
+            "convergence": round(convergence, 4),
+            "batch_mine_msgs_per_s": mine_rate,
+            "batch_baseline_msgs_per_s": baseline,
+        }
+    )
+    RESULTS.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    return 0 if p99_ok and convergence_ok and batch_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,14 @@ def build_analyzer(config: AnalyzerConfig | None = None):
     analysis throughput.
     """
     config = config or AnalyzerConfig()
+    if config.backend not in ANALYZER_BACKENDS:
+        # config validates at construction, but the field is mutable —
+        # an unknown value must fail loudly here, not silently fall
+        # back to the reference backend
+        raise ValueError(
+            f"unknown analyzer backend {config.backend!r}; "
+            f"valid choices: {', '.join(ANALYZER_BACKENDS)}"
+        )
     if config.backend == "compiled":
         # imported lazily so the default path never pays for a backend
         # it does not use

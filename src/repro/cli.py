@@ -24,7 +24,7 @@ import argparse
 import json
 import sys
 
-from repro.core.config import RTGConfig
+from repro.core.config import EXECUTION_MODES, RTGConfig, StreamingConfig
 from repro.core.export import FORMATS, export_patterns
 from repro.core.ingest import StreamIngester
 from repro.core.patterndb import PatternDB
@@ -91,6 +91,57 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("input", nargs="?", default="-", help="input file ('-' for stdin)")
     serve.add_argument("--batch-size", type=int, default=100_000)
     serve.add_argument("--save-threshold", type=int, default=1)
+    serve.add_argument(
+        "--mode",
+        dest="exec_mode",
+        choices=EXECUTION_MODES,
+        default="batch",
+        help="batch mines every full batch (the paper's workflow); "
+        "stream processes micro-batches with bounded per-message "
+        "latency and defers mining to evolving-state flushes",
+    )
+    serve.add_argument(
+        "--micro-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream mode: records per micro-batch (1 = per-message)",
+    )
+    serve.add_argument(
+        "--micro-batch-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stream mode: max seconds a partial micro-batch waits",
+    )
+    serve.add_argument(
+        "--flush-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream mode: mine once this many distinct unmatched "
+        "messages are pending",
+    )
+    serve.add_argument(
+        "--flush-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stream mode: mine at least this often",
+    )
+    serve.add_argument(
+        "--pattern-ttl-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="stream mode: evict patterns not matched for this many "
+        "days (0 = keep forever)",
+    )
+    serve.add_argument(
+        "--no-drift",
+        action="store_true",
+        help="stream mode: disable drift merge/split maintenance",
+    )
     serve.add_argument(
         "--workers",
         type=int,
@@ -181,11 +232,52 @@ def _open_input(path: str):
     return open(path, encoding="utf-8", errors="replace")
 
 
+def _streaming_config(args: argparse.Namespace) -> StreamingConfig:
+    """Fold the serve subcommand's stream knobs over the defaults."""
+    defaults = StreamingConfig()
+    return StreamingConfig(
+        micro_batch_size=(
+            args.micro_batch
+            if args.micro_batch is not None
+            else defaults.micro_batch_size
+        ),
+        micro_batch_timeout_s=(
+            args.micro_batch_timeout
+            if args.micro_batch_timeout is not None
+            else defaults.micro_batch_timeout_s
+        ),
+        flush_pending=(
+            args.flush_pending
+            if args.flush_pending is not None
+            else defaults.flush_pending
+        ),
+        flush_interval_s=(
+            args.flush_interval
+            if args.flush_interval is not None
+            else defaults.flush_interval_s
+        ),
+        pattern_ttl_days=(
+            args.pattern_ttl_days
+            if args.pattern_ttl_days is not None
+            else defaults.pattern_ttl_days
+        ),
+        drift_merge=not args.no_drift,
+        drift_split=not args.no_drift,
+    )
+
+
 def _make_rtg(args: argparse.Namespace, batch_size: int = 100_000) -> SequenceRTG:
+    # the serve subcommand's execution mode (dest=exec_mode; evaluate
+    # has an unrelated --mode); other subcommands run batch
+    mode = getattr(args, "exec_mode", "batch")
     config = RTGConfig(
         batch_size=batch_size,
         save_threshold=getattr(args, "save_threshold", 1),
         db_durable=args.durable_db,
+        mode=mode,
+        streaming=(
+            _streaming_config(args) if mode == "stream" else StreamingConfig()
+        ),
         scanner=ScannerConfig(
             allow_single_digit_time=args.single_digit_time,
             enable_path_fsm=args.path_fsm,
@@ -199,11 +291,60 @@ def _make_rtg(args: argparse.Namespace, batch_size: int = 100_000) -> SequenceRT
     )
 
 
+def _serve_stream(args: argparse.Namespace, rtg: SequenceRTG) -> int:
+    """The ``serve --mode stream`` loop: per-record micro-batching."""
+    from repro.core.ingest import parse_record
+
+    driver = rtg.stream_driver()
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs.server import MetricsServer
+
+        metrics_server = MetricsServer(rtg.metrics, port=args.metrics_port)
+        metrics_server.start()
+        print(f"metrics: {metrics_server.url}", file=sys.stderr)
+    n_lines = n_malformed = 0
+    try:
+        with _open_input(args.input) as stream:
+            for line in stream:
+                n_lines += 1
+                record = parse_record(line)
+                if record is None:
+                    n_malformed += 1
+                    continue
+                driver.offer(record)
+                driver.poll()
+    finally:
+        driver.close()
+        if metrics_server is not None:
+            metrics_server.close()
+    stats = driver.stats
+    print(
+        f"stream: {stats.n_messages} messages in {stats.n_micro_batches} "
+        f"micro-batches ({n_malformed}/{n_lines} lines malformed), "
+        f"{stats.n_matched} matched, {stats.n_flushes} flushes, "
+        f"{stats.n_new_patterns} new patterns, {stats.n_evicted} evicted, "
+        f"{stats.n_drift_merges} drift merges, {stats.n_drift_splits} "
+        f"drift splits, p99 per-message latency {driver.p99() * 1e3:.3f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "serve":
         rtg = _make_rtg(args, args.batch_size)
+        if args.exec_mode == "stream":
+            if args.workers != 1:
+                print(
+                    "error: --mode stream is serial-only (worker pools "
+                    "run batch mode); drop --workers",
+                    file=sys.stderr,
+                )
+                return 2
+            return _serve_stream(args, rtg)
         if args.workers != 1:
             # persistent pool over the same shared DB (the in-process
             # instance is only used for its config/db wiring)
@@ -231,14 +372,21 @@ def main(argv: list[str] | None = None) -> int:
                 batches = ingester.batches_pipelined(
                     stream, prefetch=rtg.config.ingest_prefetch
                 )
+            results = miner.process_stream(batches)
             try:
-                for result in miner.process_stream(batches):
+                for result in results:
                     print(
                         f"batch: {result.n_records} records, {result.n_services} services, "
                         f"{result.n_matched} matched, {result.n_new_patterns} new patterns",
                         file=sys.stderr,
                     )
             finally:
+                # closing the drive_stream generator closes the ingest
+                # generator in turn, joining its reader thread even when
+                # this loop's body raised
+                close = getattr(results, "close", None)
+                if close is not None:
+                    close()
                 if miner is not rtg:
                     miner.close()
                 if metrics_server is not None:

@@ -40,7 +40,7 @@ from datetime import datetime
 from typing import TYPE_CHECKING
 
 from repro._util.timers import StageTimer
-from repro.analyzer import build_analyzer
+from repro.analyzer.evolving import EvolvingAnalyzer
 from repro.analyzer.pattern import Pattern
 from repro.core.fastpath import FastPath
 from repro.core.records import LogRecord
@@ -197,8 +197,17 @@ class ParseStage(Stage):
 
     name = "parse"
 
+    def __init__(self, rtg: "SequenceRTG", field_tracker=None) -> None:
+        super().__init__(rtg)
+        #: optional drift seam: an object with
+        #: ``observe(pattern_id, pattern, fields, n)`` fed every hit's
+        #: extracted variable values — stream mode plugs its
+        #: :class:`~repro.core.streaming.ValueDriftTracker` in here
+        self.field_tracker = field_tracker
+
     def run(self, ctx: ServiceBatchContext) -> None:
         rtg = self.rtg
+        tracker = self.field_tracker
         parser = rtg.parser_for(ctx.service)
         lane = rtg.fastpath if rtg.config.enable_fastpath else None
         example_cap = rtg.db.max_examples
@@ -233,6 +242,8 @@ class ParseStage(Stage):
             else:
                 pid = hit.pattern.id
                 ctx.match_counts[pid] = ctx.match_counts.get(pid, 0) + n
+                if tracker is not None:
+                    tracker.observe(pid, hit.pattern, hit.fields, n)
                 examples = ctx.match_examples.setdefault(pid, [])
                 # accumulate only what the DB can store: the first
                 # `max_examples` distinct originals
@@ -257,33 +268,64 @@ class LengthPartitionStage(Stage):
 
 
 class AnalyzeStage(Stage):
-    """Mine each length partition in its own analysis trie.
+    """Absorb each length partition into the evolving analysis state.
 
-    One analyser instance — reference or compiled, per
-    :attr:`AnalyzerConfig.backend` — serves every partition of every
-    batch: its trie scratch state (the node graph, or the compiled
-    backend's node arena and interning memos) is reset and reused across
-    the partition loop instead of reallocated per call.
+    The mining itself lives in
+    :class:`repro.analyzer.evolving.EvolvingAnalyzer` — one instance
+    (wrapping one reference or compiled analyser, per
+    :attr:`AnalyzerConfig.backend`) serves every partition of every
+    batch, its trie scratch reset and reused across flushes.  Batch mode
+    (*deferred* False, the default) absorbs and flushes immediately:
+    every partition is mined within its own batch, exactly the paper's
+    workflow.  Stream mode constructs the stage *deferred*: absorption
+    still happens per micro-batch, but mining waits until the driver
+    calls :meth:`flush_into`, so evidence accumulates across
+    micro-batches in the bounded evolving trie.
     """
 
     name = "analyze"
 
-    def __init__(self, rtg: "SequenceRTG") -> None:
+    def __init__(self, rtg: "SequenceRTG", deferred: bool = False) -> None:
         super().__init__(rtg)
-        self._analyzer = build_analyzer(rtg.config.analyzer)
+        self.deferred = deferred
+        bound = rtg.config.streaming.max_partition_pending if deferred else 0
+        self.evolving = EvolvingAnalyzer(
+            rtg.config.analyzer, max_partition_pending=bound
+        )
 
     def run(self, ctx: ServiceBatchContext) -> None:
-        analyzer = self._analyzer
+        evolving = self.evolving
         weighted = ctx.counts is not None
-        for _, (partition, partition_counts) in sorted(ctx.by_length.items()):
-            patterns = analyzer.analyze(
-                partition, counts=partition_counts if weighted else None
+        for length, (partition, partition_counts) in sorted(ctx.by_length.items()):
+            evolving.absorb(
+                ctx.service,
+                length,
+                partition,
+                counts=partition_counts if weighted else None,
             )
-            ctx.trie_node_sizes.append(analyzer.last_trie_nodes)
-            ctx.max_trie_nodes = max(ctx.max_trie_nodes, analyzer.last_trie_nodes)
-            for pattern in patterns:
-                pattern.service = ctx.service
-                ctx.discovered.append(pattern)
+            if not self.deferred:
+                patterns, n_nodes = evolving.flush_partition(ctx.service, length)
+                self._record(ctx, patterns, n_nodes)
+
+    def flush_into(self, ctx: ServiceBatchContext) -> None:
+        """Mine everything pending for ``ctx.service`` into *ctx*.
+
+        The deferred half of the stage: the stream driver builds an
+        empty context per pending service and runs this in place of
+        ``run``, then hands the context to the persist stage exactly as
+        a batch would.
+        """
+        for patterns, n_nodes in self.evolving.flush_service(ctx.service):
+            self._record(ctx, patterns, n_nodes)
+
+    def _record(
+        self, ctx: ServiceBatchContext, patterns: list[Pattern], n_nodes: int
+    ) -> None:
+        ctx.trie_node_sizes.append(n_nodes)
+        ctx.max_trie_nodes = max(ctx.max_trie_nodes, n_nodes)
+        for pattern in patterns:
+            pattern.service = ctx.service
+            ctx.discovered.append(pattern)
 
 
 class PersistStage(Stage):
@@ -428,6 +470,11 @@ class MiningEngine:
     persist, notifying *observers* around each stage.  *persist*
     substitutes the persistence seam — the only stage the execution
     paths (serial, cold shard, warm worker) differ in.
+
+    In *deferred-analysis* mode (stream execution) the analyze stage
+    only absorbs into the engine's evolving state; :meth:`flush` later
+    mines everything pending and persists it through the same persist
+    seam and observer events a batch would use.
     """
 
     def __init__(
@@ -435,17 +482,23 @@ class MiningEngine:
         rtg: "SequenceRTG",
         observers: list[StageObserver] | None = None,
         persist: PersistStage | None = None,
+        deferred_analysis: bool = False,
+        field_tracker=None,
     ) -> None:
         self.rtg = rtg
+        self.deferred_analysis = deferred_analysis
+        self.field_tracker = field_tracker
         self.observers: list[StageObserver] = (
             default_observers(rtg) if observers is None else list(observers)
         )
+        self.analyze_stage = AnalyzeStage(rtg, deferred=deferred_analysis)
+        self.persist_stage = persist or PersistStage(rtg)
         self.stages: list[Stage] = [
             ScanStage(rtg),
-            ParseStage(rtg),
+            ParseStage(rtg, field_tracker=field_tracker),
             LengthPartitionStage(rtg),
-            AnalyzeStage(rtg),
-            persist or PersistStage(rtg),
+            self.analyze_stage,
+            self.persist_stage,
         ]
 
     def run(
@@ -482,6 +535,47 @@ class MiningEngine:
             observer.on_batch_end(result)
         return result
 
+    def flush(self, now: datetime | None = None) -> BatchResult:
+        """Mine and persist everything pending in the evolving state.
+
+        The deferred half of the stream workflow: for every service with
+        pending partitions an empty :class:`ServiceBatchContext` is
+        built, the analyze stage's :meth:`AnalyzeStage.flush_into` mines
+        the service's accumulated evidence into it, and the persist
+        stage writes it out — wrapped in the same stage observer events
+        a batch would emit, so flush latency and new-pattern counts land
+        in the same histograms/counters.  A no-op (empty result) when
+        nothing is pending; harmless in batch mode, where the evolving
+        state is always drained.
+        """
+        result = BatchResult()
+        evolving = self.analyze_stage.evolving
+        services = evolving.services()
+        if not services:
+            return result
+        observers = self.observers
+        for observer in observers:
+            observer.on_batch_start(result)
+        result.n_services = len(services)
+        analyze = self.analyze_stage
+        persist = self.persist_stage
+        for service in services:
+            ctx = ServiceBatchContext(service=service, records=[], now=now)
+            for stage, step in ((analyze, analyze.flush_into), (persist, persist.run)):
+                for observer in observers:
+                    observer.on_stage_start(stage.name, ctx)
+                step(ctx)
+                for observer in observers:
+                    observer.on_stage_end(stage.name, ctx)
+            result.n_partitions += len(ctx.trie_node_sizes)
+            result.n_below_threshold += ctx.n_below_threshold
+            result.max_trie_nodes = max(result.max_trie_nodes, ctx.max_trie_nodes)
+            result.n_new_patterns += len(ctx.new_patterns)
+            result.new_patterns.extend(ctx.new_patterns)
+        for observer in observers:
+            observer.on_batch_end(result)
+        return result
+
 
 # ----------------------------------------------------------------------
 # Stream driving
@@ -496,6 +590,17 @@ def drive_stream(miner, batches, now: datetime | None = None):
     worker pool — and *batches* is any iterable of record lists,
     typically :meth:`repro.core.ingest.StreamIngester.batches` or
     ``batches_pipelined``.
+
+    If *batches* is a generator (the pipelined ingester is), its
+    ``close`` runs when this driver is closed or abandoned mid-stream —
+    including when the consumer of *this* generator raises — so the
+    ingester's cleanup (reader-thread join, queue drain) is deterministic
+    rather than deferred to garbage collection.
     """
-    for batch in batches:
-        yield miner.analyze_by_service(batch, now=now)
+    try:
+        for batch in batches:
+            yield miner.analyze_by_service(batch, now=now)
+    finally:
+        close = getattr(batches, "close", None)
+        if close is not None:
+            close()

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import queue
 import threading
+import time
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
@@ -111,6 +112,15 @@ class StreamIngester:
         reader to stop; batches already yielded are unaffected and the
         source iterable is not consumed further than the prefetch
         window.  An exception raised by the source is re-raised here.
+
+        A consumer that dies mid-iteration must ``close()`` this
+        generator (``drive_stream`` and the CLI do, in their
+        ``finally``) for the cleanup to run immediately — a suspended
+        generator's own ``finally`` otherwise waits for garbage
+        collection.  Cleanup itself is robust either way: the stop flag
+        is set and the queue drained *until the reader thread exits*, so
+        a reader blocked on a full queue can never be leaked behind a
+        single drain pass.
         """
         if prefetch < 1:
             raise ValueError(f"prefetch must be >= 1, got {prefetch}")
@@ -151,13 +161,23 @@ class StreamIngester:
                 yield item
         finally:
             stop.set()
-            # unblock a reader waiting on a full queue, then let it exit
+            # keep draining while the reader winds down: one drain pass
+            # is not enough — the reader may complete a blocked put()
+            # right after it and needs the stop-flag poll (≤50ms) to
+            # notice it should exit
+            deadline = time.monotonic() + 5.0
+            while reader.is_alive() and time.monotonic() < deadline:
+                try:
+                    ready.get_nowait()
+                except queue.Empty:
+                    pass
+                reader.join(timeout=0.05)
+            # release anything still buffered so its memory frees now
             while True:
                 try:
                     ready.get_nowait()
                 except queue.Empty:
                     break
-            reader.join(timeout=5.0)
 
     def batches_from_records(
         self, records: Iterable[LogRecord]

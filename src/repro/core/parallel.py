@@ -274,6 +274,11 @@ class ParallelSequenceRTG:
         n_workers: int | None = None,
     ) -> None:
         self.config = config or RTGConfig()
+        if self.config.mode != "batch":
+            raise ValueError(
+                "worker pools run batch mode only; stream mode is served "
+                f"by the serial StreamDriver (got mode={self.config.mode!r})"
+            )
         self.db = db or PatternDB(
             max_examples=self.config.max_examples,
             durable=self.config.db_durable,
@@ -528,6 +533,11 @@ class PersistentParallelSequenceRTG:
         n_workers: int | None = None,
     ) -> None:
         self.config = config or RTGConfig()
+        if self.config.mode != "batch":
+            raise ValueError(
+                "worker pools run batch mode only; stream mode is served "
+                f"by the serial StreamDriver (got mode={self.config.mode!r})"
+            )
         self.db = db or PatternDB(
             max_examples=self.config.max_examples,
             durable=self.config.db_durable,

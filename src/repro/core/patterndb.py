@@ -21,7 +21,7 @@ import json
 import sqlite3
 from contextlib import contextmanager
 from dataclasses import dataclass
-from datetime import datetime, timezone
+from datetime import datetime, timedelta, timezone
 
 from repro.analyzer.pattern import Pattern
 
@@ -331,6 +331,59 @@ class PatternDB:
         )
         self._commit()
         return cur.rowcount
+
+    # ------------------------------------------------------------------
+    def delete_patterns(self, ids) -> int:
+        """Delete patterns (and their examples) by id; returns how many.
+
+        The removal half of stream-mode pattern churn: drift
+        maintenance retires subsumed or split patterns, TTL eviction
+        retires stale ones.  Callers holding cached parsers for the
+        affected services must retire them too
+        (:meth:`repro.core.pipeline.SequenceRTG.retire_patterns` does
+        both sides).
+        """
+        ids = list(ids)
+        if not ids:
+            return 0
+        with self.transaction():
+            self._conn.executemany(
+                "DELETE FROM examples WHERE pattern_id = ?",
+                [(pid,) for pid in ids],
+            )
+            cur = self._conn.executemany(
+                "DELETE FROM patterns WHERE id = ?", [(pid,) for pid in ids]
+            )
+            removed = cur.rowcount
+        return removed
+
+    def stale_patterns(
+        self, ttl_days: float, now: datetime | None = None
+    ) -> list[tuple[str, str]]:
+        """``(service, pattern id)`` of rows last matched too long ago.
+
+        A pattern is stale when its ``last_matched`` date — which every
+        match and rediscovery refreshes — is older than *ttl_days*
+        before *now*.  Stamps are ISO-8601 strings from a single writer,
+        so the comparison is lexicographic (SQLite has no datetime
+        type); rows with no ``last_matched`` are never stale.
+        """
+        cutoff = ((now or _utcnow()) - timedelta(days=ttl_days)).isoformat()
+        return [
+            (svc, pid)
+            for svc, pid in self._conn.execute(
+                "SELECT s.name, p.id FROM patterns p"
+                " JOIN services s ON s.id = p.service_id"
+                " WHERE p.last_matched IS NOT NULL AND p.last_matched < ?"
+                " ORDER BY s.name, p.id",
+                (cutoff,),
+            )
+        ]
+
+    def evict_stale(self, ttl_days: float, now: datetime | None = None) -> int:
+        """Delete every stale pattern (see :meth:`stale_patterns`)."""
+        stale = self.stale_patterns(ttl_days, now=now)
+        return self.delete_patterns(pid for _, pid in stale)
 
     # ------------------------------------------------------------------
     def merge_from(self, other: "PatternDB") -> int:

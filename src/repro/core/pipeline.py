@@ -14,6 +14,7 @@ for the Fig. 5 comparison.
 from __future__ import annotations
 
 from datetime import datetime
+from typing import TYPE_CHECKING
 
 from repro.analyzer.analyzer import LegacyAnalyzer
 from repro.analyzer.pattern import Pattern
@@ -26,6 +27,9 @@ from repro.obs.metrics import MetricsRegistry
 from repro.parser import build_parser
 from repro.parser.parser import Parser
 from repro.scanner import build_scanner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.streaming import StreamDriver
 
 __all__ = ["SequenceRTG", "BatchResult"]
 
@@ -61,7 +65,29 @@ class SequenceRTG:
         #: runtime metrics registry (:mod:`repro.obs`); pool front ends
         #: pass theirs in so the in-process instance shares it
         self.metrics = metrics or MetricsRegistry()
-        self.engine = MiningEngine(self)
+        self.engine = self._build_engine()
+
+    def _build_engine(self) -> MiningEngine:
+        """The staged engine, shaped by ``config.mode``.
+
+        ``stream`` defers the analyze stage (absorb now, mine on
+        :meth:`flush`) and plugs a
+        :class:`~repro.core.streaming.ValueDriftTracker` into the parse
+        stage when drift splitting is on; ``batch`` is the paper's
+        mine-every-batch workflow.
+        """
+        if self.config.mode != "stream":
+            return MiningEngine(self)
+        tracker = None
+        if self.config.streaming.drift_split:
+            # imported lazily: streaming imports engine types from this
+            # package level
+            from repro.core.streaming import ValueDriftTracker
+
+            tracker = ValueDriftTracker(
+                max_values=self.config.streaming.drift_max_values
+            )
+        return MiningEngine(self, deferred_analysis=True, field_tracker=tracker)
 
     # ------------------------------------------------------------------
     def parser_for(self, service: str) -> Parser:
@@ -105,6 +131,33 @@ class SequenceRTG:
             parser.add_pattern(pattern)
         return pid
 
+    def retire_patterns(self, service: str, ids) -> int:
+        """Remove patterns from the DB and the live matching state.
+
+        The removal counterpart of :meth:`add_known_pattern`, used by
+        stream-mode drift maintenance and TTL eviction.  The cached
+        parser (if any) rebuilds in place with a strictly monotone
+        version bump, so the fast lane's version-pinned match cache
+        entries for this service go stale rather than being trusted —
+        incremental churn never needs a full cache invalidation.  The
+        drift tracker (if the engine carries one) forgets the ids too.
+        Returns how many patterns the DB actually held.
+        """
+        ids = list(ids)
+        removed = self.db.delete_patterns(ids)
+        parser = self._parsers.get(service)
+        if parser is not None:
+            parser.remove_patterns(ids)
+        else:
+            # no live parser to rebuild — drop any cached match state so
+            # the next parser_for load can't race a stale cache
+            self.fastpath.invalidate_service(service)
+        tracker = self.engine.field_tracker
+        if tracker is not None:
+            for pid in ids:
+                tracker.discard(pid)
+        return removed
+
     # ------------------------------------------------------------------
     def analyze_by_service(
         self, records: list[LogRecord], now: datetime | None = None
@@ -134,6 +187,28 @@ class SequenceRTG:
         patterns = analyzer.analyze(scanned)
         self.last_legacy_trie_nodes = analyzer.last_trie_nodes
         return patterns
+
+    # ------------------------------------------------------------------
+    def flush(self, now: datetime | None = None) -> BatchResult:
+        """Mine and persist everything pending in the evolving state.
+
+        Stream mode's deferred analysis step (see
+        :meth:`~repro.core.engine.MiningEngine.flush`); a no-op empty
+        result in batch mode, where nothing ever defers.
+        """
+        return self.engine.flush(now=now)
+
+    def stream_driver(self, clock=None) -> "StreamDriver":
+        """A :class:`~repro.core.streaming.StreamDriver` over this miner.
+
+        Requires ``config.mode == "stream"``; *clock* (monotonic
+        seconds) is injectable for tests.
+        """
+        from repro.core.streaming import StreamDriver
+
+        if clock is None:
+            return StreamDriver(self)
+        return StreamDriver(self, clock=clock)
 
     # ------------------------------------------------------------------
     def process_stream(self, batches, now: datetime | None = None):

@@ -55,6 +55,10 @@ METRIC_HELP = {
     "rtg_pool_events_total": "Worker pool lifecycle events (spawn, respawn)",
     "rtg_pool_sync_patterns_total": "Patterns delta-synced to pool workers",
     "rtg_pool_sync_bytes_total": "Bytes of delta-sync payload shipped to pool workers",
+    "rtg_stream_message_latency_seconds": "Per-message processing latency in stream mode (micro-batch wall clock divided by its record count, one observation per record)",
+    "rtg_stream_flushes_total": "Evolving-state flushes in stream mode, by trigger (pending, partition_bound, interval, close, manual)",
+    "rtg_stream_evictions_total": "Patterns TTL-evicted in stream mode, by service",
+    "rtg_stream_drift_total": "Drift-maintenance pattern mutations in stream mode, by event (merge: retired into a subsuming general pattern; split: variable folded to a constant)",
 }
 
 #: ``BatchResult.cache`` counter key -> (cache, event) labels

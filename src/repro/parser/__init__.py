@@ -46,6 +46,14 @@ def build_parser(
     much higher per-message match throughput.
     """
     config = config or ParserConfig()
+    if config.backend not in PARSER_BACKENDS:
+        # config validates at construction, but the field is mutable —
+        # an unknown value must fail loudly here, not silently fall
+        # back to the reference backend
+        raise ValueError(
+            f"unknown parser backend {config.backend!r}; "
+            f"valid choices: {', '.join(PARSER_BACKENDS)}"
+        )
     if config.backend == "compiled":
         # imported lazily so the default path never pays for a backend
         # it does not use

@@ -127,6 +127,9 @@ class Parser:
         self._rest_root = _Node()
         self._n_rest = 0
         self._n_patterns = 0
+        #: pattern id -> pattern, the authoritative membership record —
+        #: what :meth:`remove_patterns` rebuilds the tries from
+        self._patterns: dict[str, Pattern] = {}
         self._enrich = enrich
         #: bumped on every pattern-set mutation; match caches key their
         #: validity on this — a backend-agnostic contract: every backend
@@ -174,7 +177,33 @@ class Parser:
             if has_rest:
                 self._n_rest += 1
         node.pattern = pattern
+        self._patterns[pattern.id] = pattern
         self.version += 1
+
+    def remove_patterns(self, ids) -> int:
+        """Remove patterns by id; returns how many were present.
+
+        The tries are rebuilt in place from the surviving patterns.
+        ``version`` stays strictly monotone — it bumps once for the
+        removal and once per surviving re-insert, and is never reset —
+        so version-pinned match caches (:mod:`repro.core.fastpath`) and
+        the compiled backend's lazy recompilation can never mistake a
+        pre-removal entry for current: any cache entry pinned to an
+        older version misses, exactly as for additions.
+        """
+        drop = {pid for pid in ids if pid in self._patterns}
+        if not drop:
+            return 0
+        survivors = [p for pid, p in self._patterns.items() if pid not in drop]
+        self._exact = {}
+        self._rest_root = _Node()
+        self._n_rest = 0
+        self._n_patterns = 0
+        self._patterns = {}
+        self.version += 1
+        for pattern in survivors:
+            self.add_pattern(pattern)
+        return len(drop)
 
     # ------------------------------------------------------------------
     def match(

@@ -21,13 +21,19 @@ rewrite with bit-identical output — selected by
 :attr:`ScannerConfig.backend` through :func:`build_scanner`.
 """
 
-from repro.scanner.scanner import ScannedMessage, Scanner, ScannerConfig
+from repro.scanner.scanner import (
+    SCANNER_BACKENDS,
+    ScannedMessage,
+    Scanner,
+    ScannerConfig,
+)
 from repro.scanner.token_types import Token, TokenType
 
 __all__ = [
     "Scanner",
     "ScannerConfig",
     "ScannedMessage",
+    "SCANNER_BACKENDS",
     "Token",
     "TokenType",
     "build_scanner",
@@ -43,6 +49,14 @@ def build_scanner(config: ScannerConfig | None = None) -> Scanner:
     much higher per-message throughput.
     """
     config = config or ScannerConfig()
+    if config.backend not in SCANNER_BACKENDS:
+        # config validates at construction, but the field is mutable —
+        # an unknown value must fail loudly here, not silently fall
+        # back to the reference backend
+        raise ValueError(
+            f"unknown scanner backend {config.backend!r}; "
+            f"valid choices: {', '.join(SCANNER_BACKENDS)}"
+        )
     if config.backend == "compiled":
         # imported lazily so the default path never pays the regex
         # compilation of a backend it does not use

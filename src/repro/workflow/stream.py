@@ -190,6 +190,25 @@ class ProductionStream:
         for _ in range(n):
             yield self.record()
 
+    def days(
+        self, n_days: int, per_day: int, churn_per_day: int = 0
+    ) -> list[list[LogRecord]]:
+        """Materialise a day-by-day production replay.
+
+        Draws *per_day* records for each of *n_days* days, introducing
+        *churn_per_day* new templates before each day after the first —
+        the 60-day production simulation shape (paper Fig. 7).  Returned
+        as a list of per-day record lists so the same replay can feed a
+        batch miner and a stream driver identically (the convergence
+        comparison needs both sides to see the exact same records).
+        """
+        out: list[list[LogRecord]] = []
+        for day in range(n_days):
+            if day and churn_per_day:
+                self.add_churn_templates(churn_per_day)
+            out.append(list(self.records(per_day)))
+        return out
+
     def jsonl(self, n: int) -> Iterator[str]:
         """Draw *n* records as the stream's JSON-lines wire format.
 

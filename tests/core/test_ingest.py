@@ -180,3 +180,90 @@ class TestPipelinedBatching:
         # prefetch window (2 queued batches beyond the one yielded)
         assert len(consumed) >= 30
         gen.close()
+
+    def test_consumer_exception_close_joins_reader(self):
+        """A consumer that dies mid-iteration closes the generator; the
+        cleanup must unblock a reader stuck on the full prefetch queue
+        and join it, not leak it behind a single drain pass."""
+        import threading
+        import time
+
+        started = threading.Event()
+
+        def endless():
+            i = 0
+            while True:
+                started.set()
+                yield json.dumps({"service": "s", "message": f"msg {i}"})
+                i += 1
+
+        ingester = StreamIngester(batch_size=5)
+        gen = ingester.batches_pipelined(endless(), prefetch=1)
+
+        def consume():
+            for _ in gen:
+                raise OSError("consumer died")
+
+        with pytest.raises(OSError, match="consumer died"):
+            try:
+                consume()
+            finally:
+                gen.close()
+        started.wait(timeout=2.0)
+        # the reader thread wound down instead of spinning on the queue
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            readers = [
+                t for t in threading.enumerate()
+                if t.name == "ingest-pipeline" and t.is_alive()
+            ]
+            if not readers:
+                break
+            time.sleep(0.01)
+        assert not readers
+
+    def test_abandoned_generator_cleanup_on_gc(self):
+        """Even without an explicit close(), garbage collection runs the
+        generator's finally and the reader exits."""
+        import gc
+        import threading
+        import time
+
+        ingester = StreamIngester(batch_size=5)
+        gen = ingester.batches_pipelined(lines(100), prefetch=1)
+        next(gen)
+        del gen
+        gc.collect()
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            readers = [
+                t for t in threading.enumerate()
+                if t.name == "ingest-pipeline" and t.is_alive()
+            ]
+            if not readers:
+                break
+            time.sleep(0.01)
+        assert not readers
+
+
+class TestDriveStreamCleanup:
+    def test_closing_the_driver_closes_the_source(self):
+        """drive_stream propagates close() to the batches generator, so
+        the pipelined ingester's reader joins when the consumer dies."""
+        from repro.core.patterndb import PatternDB
+        from repro.core.pipeline import SequenceRTG
+
+        closed = []
+
+        def source():
+            try:
+                while True:
+                    yield [LogRecord("svc", "ping ok")]
+            finally:
+                closed.append(True)
+
+        rtg = SequenceRTG(db=PatternDB())
+        results = rtg.process_stream(source())
+        next(results)
+        results.close()
+        assert closed == [True]

@@ -1,6 +1,8 @@
 """Parallel (service-sharded) AnalyzeByService — cold pool and
 persistent worker pool."""
 
+from datetime import datetime, timezone
+
 import pytest
 
 from repro.core.parallel import (
@@ -377,3 +379,66 @@ class TestEngineLifecycle:
         engine.close()
         assert len(engine.db.rows()) == n_patterns
         assert engine.db.counts()["patterns"] == n_patterns
+
+
+class TestLastMatchedDeltaMerge:
+    """``last_matched`` under the warm pool's delta merge (the TTL
+    eviction input of stream mode): the parent must stamp worker deltas
+    with the batch's ``now`` exactly as a serial run would, including
+    across a crash-respawn replay."""
+
+    DAYS = [
+        datetime(2026, 3, day, tzinfo=timezone.utc) for day in (1, 2, 3, 4, 5)
+    ]
+
+    @staticmethod
+    def match_dates(db):
+        return {
+            row.id: (row.first_seen, row.last_matched) for row in db.rows()
+        }
+
+    def run_serial(self, batches):
+        serial = SequenceRTG(db=PatternDB())
+        for batch, now in zip(batches, self.DAYS):
+            serial.analyze_by_service(batch, now=now)
+        return serial
+
+    def test_warm_pool_dates_identical_to_serial(self):
+        batches = batches_for_test(n_batches=5)
+        serial = self.run_serial(batches)
+
+        with PersistentParallelSequenceRTG(db=PatternDB(), n_workers=3) as engine:
+            for batch, now in zip(batches, self.DAYS):
+                engine.analyze_by_service(batch, now=now)
+            assert self.match_dates(engine.db) == self.match_dates(serial.db)
+            # the dates move: patterns matched on later days carry the
+            # later stamp, not their discovery day
+            last = {row.last_matched for row in engine.db.rows()}
+            assert self.DAYS[-1].isoformat() in last
+
+    def test_crash_respawn_replay_keeps_dates_identical(self):
+        batches = batches_for_test(n_batches=5)
+        serial = self.run_serial(batches)
+
+        with PersistentParallelSequenceRTG(db=PatternDB(), n_workers=3) as engine:
+            def crash_one_worker():
+                victim = next(h for h in engine._workers if h is not None)
+                victim.process.kill()
+                victim.process.join(timeout=5.0)
+                engine._post_dispatch_hook = None  # crash only once
+
+            for i, (batch, now) in enumerate(zip(batches, self.DAYS)):
+                if i == 2:
+                    engine._post_dispatch_hook = crash_one_worker
+                engine.analyze_by_service(batch, now=now)
+            assert engine.telemetry["respawns"] == 1
+            assert self.match_dates(engine.db) == self.match_dates(serial.db)
+
+    def test_cold_pool_dates_identical_to_serial(self):
+        batches = batches_for_test(n_batches=3)
+        serial = SequenceRTG(db=PatternDB())
+        pool = ParallelSequenceRTG(db=PatternDB(), n_workers=3)
+        for batch, now in zip(batches, self.DAYS):
+            serial.analyze_by_service(batch, now=now)
+            pool.analyze_by_service(batch, now=now)
+        assert self.match_dates(pool.db) == self.match_dates(serial.db)

@@ -245,3 +245,76 @@ class TestJournalMode:
         db.upsert(make_pattern(), now=T0)
         assert len(db.rows()) == 1
         db.close()
+
+
+class TestDeletePatterns:
+    def test_deletes_rows_and_examples(self):
+        db = PatternDB()
+        keep = db.upsert(make_pattern(text="kept %string% row"), now=T0)
+        drop_a = db.upsert(
+            make_pattern(text="dropped %string% row", examples=["dropped x row"]),
+            now=T0,
+        )
+        drop_b = db.upsert(make_pattern(text="dropped %string% too"), now=T0)
+        assert db.delete_patterns([drop_a, drop_b]) == 2
+        assert [r.id for r in db.rows()] == [keep]
+        # no orphan examples behind the deleted rows
+        n_examples = db._conn.execute("SELECT COUNT(*) FROM examples").fetchone()[0]
+        assert n_examples == 0
+
+    def test_unknown_ids_count_zero(self):
+        db = PatternDB()
+        pid = db.upsert(make_pattern(), now=T0)
+        assert db.delete_patterns(["nope", "also-nope"]) == 0
+        assert db.delete_patterns([]) == 0
+        assert [r.id for r in db.rows()] == [pid]
+
+    def test_delete_inside_transaction_rolls_back(self, tmp_path):
+        db = PatternDB(str(tmp_path / "p.db"))
+        pid = db.upsert(make_pattern(), now=T0)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.delete_patterns([pid])
+                raise RuntimeError("abort")
+        assert [r.id for r in db.rows()] == [pid]
+
+
+class TestStalePatterns:
+    def test_stale_by_last_matched(self):
+        db = PatternDB()
+        old = db.upsert(make_pattern(text="old %string% row"), now=T0)
+        fresh = db.upsert(make_pattern(text="fresh %string% row"), now=T0)
+        late = datetime(2021, 10, 15, tzinfo=timezone.utc)
+        db.record_match(fresh, n=1, now=late)
+        stale = db.stale_patterns(30.0, now=late)
+        assert stale == [("sshd", old)]
+
+    def test_never_matched_rows_are_not_stale(self):
+        db = PatternDB()
+        pid = db.upsert(make_pattern(), now=T0)
+        db._conn.execute(
+            "UPDATE patterns SET last_matched = NULL WHERE id = ?", (pid,)
+        )
+        far = datetime(2022, 9, 1, tzinfo=timezone.utc)
+        assert db.stale_patterns(1.0, now=far) == []
+
+    def test_evict_stale_deletes_and_counts(self):
+        db = PatternDB()
+        db.upsert(make_pattern(text="old %string% row"), now=T0)
+        fresh = db.upsert(make_pattern(text="fresh %string% row"), now=T0)
+        late = datetime(2021, 10, 15, tzinfo=timezone.utc)
+        db.record_match(fresh, n=1, now=late)
+        assert db.evict_stale(30.0, now=late) == 1
+        assert [r.id for r in db.rows()] == [fresh]
+
+    def test_upsert_refreshes_last_matched(self):
+        """Re-upserting (the warm pool's delta merge path) counts as a
+        match: the row must not look stale afterwards."""
+        db = PatternDB()
+        pid = db.upsert(make_pattern(support=2), now=T0)
+        late = datetime(2021, 10, 15, tzinfo=timezone.utc)
+        db.upsert(make_pattern(support=3), now=late)
+        (row,) = db.rows()
+        assert row.id == pid
+        assert row.last_matched == late.isoformat()
+        assert db.stale_patterns(30.0, now=late) == []

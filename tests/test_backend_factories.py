@@ -1,0 +1,72 @@
+"""Backend factories reject unknown backend names loudly.
+
+Each config dataclass validates its ``backend`` field at construction,
+but the field is mutable and the CLI historically passed raw strings
+through — the factory is the last line of defence and must name the
+valid choices in its error instead of silently falling back to the
+reference backend.
+"""
+
+import pytest
+
+from repro.analyzer import ANALYZER_BACKENDS, AnalyzerConfig, build_analyzer
+from repro.parser import PARSER_BACKENDS, ParserConfig, build_parser
+from repro.scanner import SCANNER_BACKENDS, ScannerConfig, build_scanner
+
+
+def mutated(config, backend="turbo"):
+    # bypass __post_init__ validation, like a caller poking the field
+    object.__setattr__(config, "backend", backend)
+    return config
+
+
+class TestScannerFactory:
+    def test_valid_backends_build(self):
+        for backend in SCANNER_BACKENDS:
+            assert build_scanner(ScannerConfig(backend=backend)) is not None
+
+    def test_unknown_backend_lists_choices(self):
+        with pytest.raises(ValueError) as err:
+            build_scanner(mutated(ScannerConfig()))
+        message = str(err.value)
+        assert "'turbo'" in message
+        for backend in SCANNER_BACKENDS:
+            assert backend in message
+
+
+class TestParserFactory:
+    def test_valid_backends_build(self):
+        for backend in PARSER_BACKENDS:
+            assert build_parser(config=ParserConfig(backend=backend)) is not None
+
+    def test_unknown_backend_lists_choices(self):
+        with pytest.raises(ValueError) as err:
+            build_parser(config=mutated(ParserConfig()))
+        message = str(err.value)
+        assert "'turbo'" in message
+        for backend in PARSER_BACKENDS:
+            assert backend in message
+
+
+class TestAnalyzerFactory:
+    def test_valid_backends_build(self):
+        for backend in ANALYZER_BACKENDS:
+            assert build_analyzer(AnalyzerConfig(backend=backend)) is not None
+
+    def test_unknown_backend_lists_choices(self):
+        with pytest.raises(ValueError) as err:
+            build_analyzer(mutated(AnalyzerConfig()))
+        message = str(err.value)
+        assert "'turbo'" in message
+        for backend in ANALYZER_BACKENDS:
+            assert backend in message
+
+
+class TestConfigValidation:
+    def test_configs_reject_unknown_backend_at_construction(self):
+        with pytest.raises(ValueError):
+            ScannerConfig(backend="turbo")
+        with pytest.raises(ValueError):
+            ParserConfig(backend="turbo")
+        with pytest.raises(ValueError):
+            AnalyzerConfig(backend="turbo")
