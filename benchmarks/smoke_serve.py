@@ -1,0 +1,266 @@
+"""Serving-tier smoke gate for CI.
+
+Four tripwires around the network ingest tier, all against the same
+duplicate-heavy production stream:
+
+1. **sustained throughput** — a multi-client TCP feed into the warm
+   2-worker pool must sustain at least ``SUSTAINED_FLOOR`` of the
+   file-fed warm-pool rate over the same records.  The serving tier
+   moves records through sockets, frames and shard queues; it must not
+   cost the pipeline its paper-scale headroom.
+2. **nominal ingest latency** — a paced single client well under
+   capacity must see p99 arrival→queue-admission latency below
+   ``P99_GATE_S``.  Backpressure exists for overload, not for idling.
+3. **explicit shedding** — flooding a deliberately tiny queue with the
+   shed policy must refuse a bounded, *non-zero* fraction and mine
+   exactly what it accepted: overload is load-shedding, never loss of
+   accepted records, and never worker crashes (zero respawns).
+4. **zero shed below the high-water mark** — the nominal run must not
+   shed anything.
+
+Writes ``results/BENCH_serve.json``.  Deliberately small — a
+regression tripwire, not a benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_serve.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.ingest import StreamIngester
+from repro.core.parallel import PersistentParallelSequenceRTG
+from repro.core.patterndb import PatternDB
+from repro.serve import ListenSpec, ServeConfig, ServeServer
+from repro.workflow.stream import ProductionStream, StreamConfig
+
+RESULTS = Path(__file__).parent.parent / "results" / "BENCH_serve.json"
+
+N_MESSAGES = 8_000
+BATCH_SIZE = 1_000
+N_WORKERS = 2
+N_CLIENTS = 4
+
+#: network-fed sustained throughput floor, as a fraction of the
+#: file-fed warm-pool rate over the same records
+SUSTAINED_FLOOR = 0.8
+#: p99 arrival → queue-admission latency gate for the paced run
+P99_GATE_S = 0.050
+#: paced-run request rate (msgs/s), far below capacity
+NOMINAL_RATE = 500
+NOMINAL_MESSAGES = 1_000
+#: overload run: per-shard queue bound and flood size
+OVERLOAD_HIGH_WATER = 200
+OVERLOAD_MESSAGES = 5_000
+
+
+def stream_lines() -> list[str]:
+    stream = ProductionStream(
+        StreamConfig(n_services=40, seed=41, duplicate_fraction=0.5)
+    )
+    return list(stream.jsonl(N_MESSAGES))
+
+
+def measure_file_fed(lines: list[str]) -> float:
+    """File-fed warm-pool msgs/s over the full run (spawn excluded)."""
+    with PersistentParallelSequenceRTG(
+        db=PatternDB(), n_workers=N_WORKERS
+    ) as engine:
+        ingester = StreamIngester(batch_size=BATCH_SIZE)
+        began = time.perf_counter()
+        for _ in engine.process_stream(ingester.batches_pipelined(lines)):
+            pass
+        seconds = time.perf_counter() - began
+    return len(lines) / seconds
+
+
+async def flood_clients(host: str, port: int, lines: list[str]) -> None:
+    """N concurrent TCP clients, each pushing its slice flat out."""
+
+    async def client(slice_lines: list[str]) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        payload = ("\n".join(slice_lines) + "\n").encode()
+        for offset in range(0, len(payload), 65536):
+            writer.write(payload[offset:offset + 65536])
+            await writer.drain()
+        writer.close()
+        await writer.wait_closed()
+
+    per_client = (len(lines) + N_CLIENTS - 1) // N_CLIENTS
+    await asyncio.gather(
+        *(
+            client(lines[i:i + per_client])
+            for i in range(0, len(lines), per_client)
+        )
+    )
+
+
+async def paced_client(host: str, port: int, lines: list[str], rate: float) -> None:
+    """One client sending line by line at a fixed rate."""
+    reader, writer = await asyncio.open_connection(host, port)
+    interval = 1.0 / rate
+    next_send = time.perf_counter()
+    for line in lines:
+        writer.write(line.encode() + b"\n")
+        await writer.drain()
+        next_send += interval
+        delay = next_send - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+    writer.close()
+    await writer.wait_closed()
+
+
+def serve_once(
+    config_overrides: dict, run, expected_frames: int
+) -> tuple[ServeServer, object, float]:
+    """Run one ServeServer over a fresh warm pool; *run(host, port)* is
+    the client-side coroutine.  Returns (server, pool telemetry,
+    seconds from first client byte to fully-mined drain) — pool spawn
+    is excluded, matching the file-fed baseline.
+
+    The clients finish when their last byte is *written*; the server is
+    still reading kernel buffers then, so drain only once every
+    expected frame has been seen.
+    """
+    with PersistentParallelSequenceRTG(
+        db=PatternDB(), n_workers=N_WORKERS
+    ) as engine:
+        config = dict(
+            listen=(ListenSpec(scheme="tcp", host="127.0.0.1", port=0),),
+            batch_size=BATCH_SIZE,
+            dispatch_timeout_s=0.2,
+        )
+        config.update(config_overrides)
+        server = ServeServer(engine, ServeConfig(**config))
+        endpoints = server.start_in_background()
+        host, port = dict(endpoints)["tcp"].rsplit(":", 1)
+        began = time.perf_counter()
+        asyncio.run(run(host, int(port)))
+        deadline = time.monotonic() + 120
+        while (
+            server.stats.frames < expected_frames
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        server.shutdown()
+        seconds = time.perf_counter() - began
+        telemetry = dict(engine.telemetry)
+    return server, telemetry, seconds
+
+
+def main() -> int:
+    lines = stream_lines()
+
+    file_rate = measure_file_fed(lines)
+    print(f"file-fed warm pool: {file_rate:,.0f} msgs/s")
+
+    # 1. sustained multi-client throughput, wall clock from first byte
+    # to fully-mined drain (same records, same batch size)
+    server, telemetry, seconds = serve_once(
+        {}, lambda host, port: flood_clients(host, port, lines), N_MESSAGES
+    )
+    net_rate = server.stats.records_mined / seconds
+    sustained_ok = (
+        server.stats.records_mined == N_MESSAGES
+        and net_rate >= SUSTAINED_FLOOR * file_rate
+    )
+    print(
+        f"network-fed ({N_CLIENTS} clients): {net_rate:,.0f} msgs/s "
+        f"(floor: {SUSTAINED_FLOOR * file_rate:,.0f} = "
+        f"{SUSTAINED_FLOOR:.0%} of file-fed) — "
+        f"{'OK' if sustained_ok else 'FAIL'}"
+    )
+
+    # 2+4. paced nominal run: p99 admission latency, zero shed
+    server, _, _ = serve_once(
+        {},
+        lambda host, port: paced_client(
+            host, port, lines[:NOMINAL_MESSAGES], NOMINAL_RATE
+        ),
+        NOMINAL_MESSAGES,
+    )
+    p99_s = server.stats.p99()
+    nominal_ok = (
+        p99_s < P99_GATE_S
+        and server.stats.shed == 0
+        and server.stats.records_mined == NOMINAL_MESSAGES
+    )
+    print(
+        f"nominal ({NOMINAL_RATE} msgs/s paced): p99 admission "
+        f"{p99_s * 1e3:.3f} ms (gate: {P99_GATE_S * 1e3:.0f} ms), "
+        f"shed {server.stats.shed} — {'OK' if nominal_ok else 'FAIL'}"
+    )
+
+    # 3. overload run: tiny queue, shed policy, dispatcher held back so
+    # the flood has to hit the high-water mark
+    server, telemetry, _ = serve_once(
+        {
+            "batch_size": 100_000,
+            "high_water": OVERLOAD_HIGH_WATER,
+            "overload": "shed",
+            "dispatch_timeout_s": 30,
+        },
+        lambda host, port: flood_clients(
+            host, port, lines[:OVERLOAD_MESSAGES]
+        ),
+        OVERLOAD_MESSAGES,
+    )
+    shed_fraction = server.stats.shed / OVERLOAD_MESSAGES
+    capacity = N_WORKERS * OVERLOAD_HIGH_WATER
+    overload_ok = (
+        0 < server.stats.shed
+        and server.stats.accepted <= capacity
+        and server.stats.records_mined == server.stats.accepted
+        and telemetry["respawns"] == 0
+    )
+    print(
+        f"overload (shed, high-water {OVERLOAD_HIGH_WATER}/shard): "
+        f"accepted {server.stats.accepted}, shed {server.stats.shed} "
+        f"({shed_fraction:.1%}), mined == accepted "
+        f"{server.stats.records_mined == server.stats.accepted}, "
+        f"respawns {telemetry['respawns']} — "
+        f"{'OK' if overload_ok else 'FAIL'}"
+    )
+
+    RESULTS.parent.mkdir(exist_ok=True)
+    data: dict = {}
+    if RESULTS.exists():
+        data = json.loads(RESULTS.read_text())
+    data.update(
+        {
+            "gates": {
+                "sustained_floor": SUSTAINED_FLOOR,
+                "p99_latency_s": P99_GATE_S,
+            },
+            "file_fed_msgs_per_s": round(file_rate),
+            "network_fed_msgs_per_s": round(net_rate),
+            "n_clients": N_CLIENTS,
+            "nominal": {
+                "rate_msgs_per_s": NOMINAL_RATE,
+                "p99_admission_ms": round(p99_s * 1e3, 4),
+                "shed": 0 if nominal_ok else -1,
+            },
+            "overload": {
+                "high_water": OVERLOAD_HIGH_WATER,
+                "flood_messages": OVERLOAD_MESSAGES,
+                "accepted": server.stats.accepted,
+                "shed": server.stats.shed,
+                "shed_fraction": round(shed_fraction, 4),
+                "respawns": telemetry["respawns"],
+            },
+        }
+    )
+    RESULTS.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    return 0 if (sustained_ok and nominal_ok and overload_ok) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

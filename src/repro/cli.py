@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 
 from repro.core.config import EXECUTION_MODES, RTGConfig, StreamingConfig
 from repro.core.export import FORMATS, export_patterns
@@ -91,6 +93,54 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("input", nargs="?", default="-", help="input file ('-' for stdin)")
     serve.add_argument("--batch-size", type=int, default=100_000)
     serve.add_argument("--save-threshold", type=int, default=1)
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="ENDPOINTS",
+        help="serve over the network instead of reading a file: "
+        "comma-separated tcp://host:port, unix:///path and "
+        "http://host:port endpoints (framed JSONL on tcp/unix, "
+        "POST /ingest on http; port 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--high-water",
+        type=int,
+        default=0,
+        metavar="N",
+        help="network mode: per-shard queue bound in records before the "
+        "overload policy applies (0 = 2x batch size split across shards)",
+    )
+    serve.add_argument(
+        "--overload",
+        choices=("block", "shed", "drop_oldest"),
+        default="block",
+        help="network mode: what happens at a full shard queue — block "
+        "(TCP pushback), shed (refuse newest, HTTP 429) or drop_oldest",
+    )
+    serve.add_argument(
+        "--dispatch-timeout",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="network mode: max seconds a partial mining batch waits "
+        "for more records",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="network mode: seconds live connections get to finish "
+        "after SIGTERM before being cancelled",
+    )
+    serve.add_argument(
+        "--ingest-join-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="file mode: seconds to wait for the pipelined reader "
+        "thread on shutdown before declaring it leaked",
+    )
     serve.add_argument(
         "--mode",
         dest="exec_mode",
@@ -291,6 +341,51 @@ def _make_rtg(args: argparse.Namespace, batch_size: int = 100_000) -> SequenceRT
     )
 
 
+class _DrainRequest:
+    """SIGTERM/SIGINT → a stop flag the file-fed serve loops honour.
+
+    Without this, a signal mid-batch kills the process wherever it
+    stands: the pipelined ingester generator is abandoned (its reader
+    thread joined only at GC) and the final partial batch is dropped.
+    With it, the loops stop consuming input at the next line, the
+    ingester yields what it has, the engine mines it, and the process
+    exits 0 — the same flush-then-exit contract the network tier's
+    graceful drain makes.
+    """
+
+    def __init__(self) -> None:
+        self.stop = threading.Event()
+        self._previous: dict[int, object] = {}
+
+    def __enter__(self) -> "_DrainRequest":
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except ValueError:  # not the main thread (embedded use)
+                pass
+        return self
+
+    def _handle(self, signum, frame) -> None:
+        self.stop.set()
+        print("drain: signal received, flushing", file=sys.stderr)
+
+    def __exit__(self, *exc) -> None:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+
+
+def _interruptible(lines, stop: threading.Event):
+    """Pass lines through until EOF or the drain flag is raised.
+
+    Raising the flag turns into a clean EOF for the ingester, which
+    then emits its final partial batch deterministically.
+    """
+    for line in lines:
+        if stop.is_set():
+            return
+        yield line
+
+
 def _serve_stream(args: argparse.Namespace, rtg: SequenceRTG) -> int:
     """The ``serve --mode stream`` loop: per-record micro-batching."""
     from repro.core.ingest import parse_record
@@ -305,8 +400,8 @@ def _serve_stream(args: argparse.Namespace, rtg: SequenceRTG) -> int:
         print(f"metrics: {metrics_server.url}", file=sys.stderr)
     n_lines = n_malformed = 0
     try:
-        with _open_input(args.input) as stream:
-            for line in stream:
+        with _DrainRequest() as drain, _open_input(args.input) as stream:
+            for line in _interruptible(stream, drain.stop):
                 n_lines += 1
                 record = parse_record(line)
                 if record is None:
@@ -331,19 +426,85 @@ def _serve_stream(args: argparse.Namespace, rtg: SequenceRTG) -> int:
     return 0
 
 
+def _serve_listen(args: argparse.Namespace, rtg: SequenceRTG) -> int:
+    """``serve --listen``: the async network ingest tier."""
+    import asyncio
+
+    from repro.serve import ServeConfig, ServeServer, parse_listen_specs
+
+    specs = parse_listen_specs(args.listen)
+    pool = None
+    if args.exec_mode == "stream":
+        miner = rtg.stream_driver()
+        registry = rtg.metrics
+    elif args.workers != 1:
+        from repro.core.parallel import PersistentParallelSequenceRTG
+
+        pool = miner = PersistentParallelSequenceRTG(
+            db=rtg.db, config=rtg.config, n_workers=args.workers or None
+        )
+        registry = pool.metrics
+    else:
+        miner = rtg
+        registry = rtg.metrics
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs.server import MetricsServer
+
+        metrics_server = MetricsServer(registry, port=args.metrics_port)
+        metrics_server.start()
+        print(f"metrics: {metrics_server.url}", file=sys.stderr)
+    server = ServeServer(
+        miner,
+        ServeConfig(
+            listen=tuple(specs),
+            batch_size=args.batch_size,
+            high_water=args.high_water,
+            overload=args.overload,
+            dispatch_timeout_s=args.dispatch_timeout,
+            drain_grace_s=args.drain_grace,
+        ),
+    )
+
+    def announce(endpoints) -> None:
+        rendered = ", ".join(f"{scheme}://{addr}" for scheme, addr in endpoints)
+        print(f"listening: {rendered}", file=sys.stderr)
+
+    try:
+        asyncio.run(server.run(install_signals=True, ready=announce))
+    finally:
+        if pool is not None:
+            pool.close()
+        if metrics_server is not None:
+            metrics_server.close()
+    summary = server.summary()
+    print(
+        f"serve: {summary['accepted']} accepted ({summary['shed']} shed, "
+        f"{summary['malformed']} malformed) over {summary['connections']} "
+        f"connections; {summary['records_mined']} records mined in "
+        f"{summary['batches']} batches, {summary['new_patterns']} new "
+        f"patterns, p99 ingest latency "
+        f"{summary['p99_ingest_latency_s'] * 1e3:.3f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "serve":
         rtg = _make_rtg(args, args.batch_size)
+        if args.exec_mode == "stream" and args.workers != 1:
+            print(
+                "error: --mode stream is serial-only (worker pools "
+                "run batch mode); drop --workers",
+                file=sys.stderr,
+            )
+            return 2
+        if args.listen is not None:
+            return _serve_listen(args, rtg)
         if args.exec_mode == "stream":
-            if args.workers != 1:
-                print(
-                    "error: --mode stream is serial-only (worker pools "
-                    "run batch mode); drop --workers",
-                    file=sys.stderr,
-                )
-                return 2
             return _serve_stream(args, rtg)
         if args.workers != 1:
             # persistent pool over the same shared DB (the in-process
@@ -364,13 +525,18 @@ def main(argv: list[str] | None = None) -> int:
             metrics_server = MetricsServer(miner.metrics, port=args.metrics_port)
             metrics_server.start()
             print(f"metrics: {metrics_server.url}", file=sys.stderr)
-        ingester = StreamIngester(batch_size=args.batch_size)
-        with _open_input(args.input) as stream:
+        ingester = StreamIngester(
+            batch_size=args.batch_size,
+            join_timeout=args.ingest_join_timeout,
+            metrics=miner.metrics if rtg.config.enable_metrics else None,
+        )
+        with _DrainRequest() as drain, _open_input(args.input) as stream:
+            lines = _interruptible(stream, drain.stop)
             if args.no_pipeline:
-                batches = ingester.batches(stream)
+                batches = ingester.batches(lines)
             else:
                 batches = ingester.batches_pipelined(
-                    stream, prefetch=rtg.config.ingest_prefetch
+                    lines, prefetch=rtg.config.ingest_prefetch
                 )
             results = miner.process_stream(batches)
             try:

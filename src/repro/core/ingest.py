@@ -21,6 +21,7 @@ FIFO queue) and closing the generator early stops the reader cleanly.
 from __future__ import annotations
 
 import json
+import logging
 import queue
 import threading
 import time
@@ -30,6 +31,8 @@ from dataclasses import dataclass, field
 from repro.core.records import LogRecord
 
 __all__ = ["StreamIngester", "parse_record", "IngestStats"]
+
+_log = logging.getLogger("repro.ingest")
 
 #: queue marker for normal end of stream
 _EOF = object()
@@ -70,37 +73,89 @@ class IngestStats:
 
 @dataclass(slots=True)
 class StreamIngester:
-    """Batch JSON-lines input for the analysis pipeline."""
+    """Batch JSON-lines input for the analysis pipeline.
+
+    With a :class:`~repro.obs.metrics.MetricsRegistry` attached via
+    *metrics*, the :class:`IngestStats` counters are also published as
+    ``rtg_ingest_lines_total`` / ``rtg_ingest_malformed_total`` (flushed
+    once per yielded batch, not per line, so the hot loop stays free of
+    registry locking) — ingest health is scrapeable, not just visible on
+    the dataclass after the fact.
+    """
 
     batch_size: int = 100_000
     drop_partial: bool = False
+    #: seconds :meth:`batches_pipelined` waits for its reader thread to
+    #: exit when the generator closes; a reader still alive after this
+    #: is logged as a leak (and counted, when *metrics* is attached)
+    join_timeout: float = 5.0
+    #: optional :class:`~repro.obs.metrics.MetricsRegistry`
+    metrics: object | None = None
     stats: IngestStats = field(default_factory=IngestStats)
+    _lines_counter: object | None = field(init=False, default=None, repr=False)
+    _malformed_counter: object | None = field(init=False, default=None, repr=False)
+    _leak_counter: object | None = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.join_timeout <= 0:
+            raise ValueError(
+                f"join_timeout must be positive, got {self.join_timeout}"
+            )
+        if self.metrics is not None:
+            from repro.obs.observer import METRIC_HELP
+
+            self._lines_counter = self.metrics.counter(
+                "rtg_ingest_lines_total", METRIC_HELP["rtg_ingest_lines_total"]
+            )
+            self._malformed_counter = self.metrics.counter(
+                "rtg_ingest_malformed_total",
+                METRIC_HELP["rtg_ingest_malformed_total"],
+            )
+            self._leak_counter = self.metrics.counter(
+                "rtg_ingest_reader_leaks_total",
+                METRIC_HELP["rtg_ingest_reader_leaks_total"],
+            )
+
+    def _publish(self, lines: int, malformed: int) -> None:
+        if self._lines_counter is not None and lines:
+            self._lines_counter.inc(lines)
+        if self._malformed_counter is not None and malformed:
+            self._malformed_counter.inc(malformed)
 
     def batches(self, lines: Iterable[str]) -> Iterator[list[LogRecord]]:
         """Yield batches of parsed records from an iterable of JSON lines."""
         batch: list[LogRecord] = []
-        for line in lines:
-            self.stats.n_lines += 1
-            record = parse_record(line)
-            if record is None:
-                self.stats.n_malformed += 1
-                continue
-            self.stats.n_records += 1
-            batch.append(record)
-            if len(batch) >= self.batch_size:
+        pending_lines = pending_malformed = 0
+        try:
+            for line in lines:
+                self.stats.n_lines += 1
+                pending_lines += 1
+                record = parse_record(line)
+                if record is None:
+                    self.stats.n_malformed += 1
+                    pending_malformed += 1
+                    continue
+                self.stats.n_records += 1
+                batch.append(record)
+                if len(batch) >= self.batch_size:
+                    self.stats.n_batches += 1
+                    self._publish(pending_lines, pending_malformed)
+                    pending_lines = pending_malformed = 0
+                    yield batch
+                    batch = []
+            if batch and not self.drop_partial:
                 self.stats.n_batches += 1
                 yield batch
-                batch = []
-        if batch and not self.drop_partial:
-            self.stats.n_batches += 1
-            yield batch
+        finally:
+            self._publish(pending_lines, pending_malformed)
 
     def batches_pipelined(
-        self, lines: Iterable[str], prefetch: int = 2
+        self,
+        lines: Iterable[str],
+        prefetch: int = 2,
+        join_timeout: float | None = None,
     ) -> Iterator[list[LogRecord]]:
         """Yield batches with parsing pipelined ahead of the consumer.
 
@@ -120,8 +175,15 @@ class StreamIngester:
         collection.  Cleanup itself is robust either way: the stop flag
         is set and the queue drained *until the reader thread exits*, so
         a reader blocked on a full queue can never be leaked behind a
-        single drain pass.
+        single drain pass.  A reader stuck inside the *source* (a socket
+        read, a blocked pipe) cannot be interrupted from here; after
+        *join_timeout* seconds (:attr:`join_timeout` unless overridden)
+        the leak is logged and counted instead of silently abandoned.
         """
+        if join_timeout is None:
+            join_timeout = self.join_timeout
+        if join_timeout <= 0:
+            raise ValueError(f"join_timeout must be positive, got {join_timeout}")
         if prefetch < 1:
             raise ValueError(f"prefetch must be >= 1, got {prefetch}")
         ready: queue.Queue = queue.Queue(maxsize=prefetch)
@@ -165,13 +227,21 @@ class StreamIngester:
             # is not enough — the reader may complete a blocked put()
             # right after it and needs the stop-flag poll (≤50ms) to
             # notice it should exit
-            deadline = time.monotonic() + 5.0
+            deadline = time.monotonic() + join_timeout
             while reader.is_alive() and time.monotonic() < deadline:
                 try:
                     ready.get_nowait()
                 except queue.Empty:
                     pass
                 reader.join(timeout=0.05)
+            if reader.is_alive():
+                _log.warning(
+                    "pipelined ingest reader did not exit within %.1fs; "
+                    "the daemon thread is leaked (source is blocking?)",
+                    join_timeout,
+                )
+                if self._leak_counter is not None:
+                    self._leak_counter.inc()
             # release anything still buffered so its memory frees now
             while True:
                 try:
@@ -182,15 +252,28 @@ class StreamIngester:
     def batches_from_records(
         self, records: Iterable[LogRecord]
     ) -> Iterator[list[LogRecord]]:
-        """Batch pre-parsed records (used by the in-process simulations)."""
+        """Batch pre-parsed records (used by the in-process simulations).
+
+        Pre-parsed records are still stream items: each counts as a
+        line (none can be malformed), so :class:`IngestStats` reads the
+        same whichever entry point fed the run.
+        """
         batch: list[LogRecord] = []
-        for record in records:
-            self.stats.n_records += 1
-            batch.append(record)
-            if len(batch) >= self.batch_size:
+        pending_lines = 0
+        try:
+            for record in records:
+                self.stats.n_lines += 1
+                pending_lines += 1
+                self.stats.n_records += 1
+                batch.append(record)
+                if len(batch) >= self.batch_size:
+                    self.stats.n_batches += 1
+                    self._publish(pending_lines, 0)
+                    pending_lines = 0
+                    yield batch
+                    batch = []
+            if batch and not self.drop_partial:
                 self.stats.n_batches += 1
                 yield batch
-                batch = []
-        if batch and not self.drop_partial:
-            self.stats.n_batches += 1
-            yield batch
+        finally:
+            self._publish(pending_lines, 0)

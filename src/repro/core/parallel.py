@@ -716,15 +716,37 @@ class PersistentParallelSequenceRTG:
         self, records: list[LogRecord], now: datetime | None = None
     ) -> BatchResult:
         """Analyse one batch across the persistent pool and merge results."""
+        return self.analyze_sharded(
+            shard_records(records, self.n_workers), now=now
+        )
+
+    def analyze_sharded(
+        self, shards: list[list[LogRecord]], now: datetime | None = None
+    ) -> BatchResult:
+        """Analyse one pre-sharded batch across the persistent pool.
+
+        *shards* must have exactly ``n_workers`` entries (empties
+        allowed) with shard *i* holding only services that
+        :func:`route_service` maps to *i* — the split
+        :func:`shard_records` produces, which the serving tier's
+        :class:`~repro.serve.router.ShardRouter` maintains incrementally
+        so network batches skip the re-shard entirely.  Misrouted
+        shards are not silently mined: cross-shard pattern collisions
+        trip the disjoint-merge guard.
+        """
         if self._closed:
             raise RuntimeError("engine is closed")
-        result = BatchResult(n_records=len(records))
-        result.n_services = len({r.service for r in records})
+        if len(shards) != self.n_workers:
+            raise ValueError(
+                f"expected {self.n_workers} shards, got {len(shards)}"
+            )
+        result = BatchResult(n_records=sum(len(s) for s in shards))
+        result.n_services = len({r.service for s in shards for r in s})
         for observer in self.observers:
             observer.on_batch_start(result)
 
         dispatched: list[tuple[_WorkerHandle, list[LogRecord]]] = []
-        for index, shard in enumerate(shard_records(records, self.n_workers)):
+        for index, shard in enumerate(shards):
             if not shard:
                 continue
             handle = self._ensure_worker(index)

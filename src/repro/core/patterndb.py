@@ -87,7 +87,14 @@ class PatternDB:
         max_examples: int = 3,
         durable: bool = False,
     ) -> None:
-        self._conn = sqlite3.connect(path)
+        # the serving tier mines on a dispatcher thread while the CLI
+        # thread created this object; access is handed off, never
+        # concurrent, and SQLite's serialized mode (threadsafety == 3)
+        # locks at the C level anyway — keep the Python-side thread
+        # check only when the library cannot protect itself
+        self._conn = sqlite3.connect(
+            path, check_same_thread=sqlite3.threadsafety != 3
+        )
         self._conn.execute("PRAGMA foreign_keys = ON")
         if not durable:
             # WAL keeps readers unblocked and turns the per-commit cost

@@ -1,0 +1,32 @@
+"""Async network ingest tier (the serving front door).
+
+``serve --listen`` turns the miner from a file reader into a network
+service: framed-JSONL listeners over TCP and Unix domain sockets plus a
+minimal HTTP/1.1 ``POST /ingest`` endpoint, a consistent-hash shard
+router with bounded queues and explicit backpressure, and a dispatcher
+feeding the warm worker pool — see :mod:`repro.serve.server` for the
+full picture and ``docs/architecture.md`` ("Serving tier").
+"""
+
+from repro.serve.framing import FrameDecoder, FramingError, MAX_FRAME_BYTES
+from repro.serve.listeners import (
+    LISTEN_SCHEMES,
+    ListenSpec,
+    parse_listen_specs,
+)
+from repro.serve.router import OVERLOAD_POLICIES, ShardRouter
+from repro.serve.server import ServeConfig, ServeServer, ServeStats
+
+__all__ = [
+    "FrameDecoder",
+    "FramingError",
+    "MAX_FRAME_BYTES",
+    "LISTEN_SCHEMES",
+    "ListenSpec",
+    "parse_listen_specs",
+    "OVERLOAD_POLICIES",
+    "ShardRouter",
+    "ServeConfig",
+    "ServeServer",
+    "ServeStats",
+]

@@ -246,6 +246,103 @@ class TestPipelinedBatching:
         assert not readers
 
 
+class TestIngestMetrics:
+    def registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        return MetricsRegistry()
+
+    def test_counters_published_per_batch(self):
+        registry = self.registry()
+        ingester = StreamIngester(batch_size=10, metrics=registry)
+        stream = lines(15) + ["garbage", "{broken"] + lines(5)
+        list(ingester.batches(stream))
+        assert registry.counter("rtg_ingest_lines_total").value() == 22
+        assert registry.counter("rtg_ingest_malformed_total").value() == 2
+
+    def test_counters_match_stats_through_pipelined_path(self):
+        registry = self.registry()
+        ingester = StreamIngester(batch_size=10, metrics=registry)
+        stream = lines(20) + ["not json"] + lines(3)
+        list(ingester.batches_pipelined(stream))
+        assert (
+            registry.counter("rtg_ingest_lines_total").value()
+            == ingester.stats.n_lines
+            == 24
+        )
+        assert registry.counter("rtg_ingest_malformed_total").value() == 1
+
+    def test_no_metrics_is_the_default(self):
+        ingester = StreamIngester(batch_size=10)
+        list(ingester.batches(lines(5)))  # must not touch a registry
+
+    def test_batches_from_records_counts_lines(self):
+        """Pre-parsed records are still stream items: IngestStats reads
+        the same whichever entry point fed the run."""
+        registry = self.registry()
+        records = [LogRecord("s", f"m {i}") for i in range(7)]
+        ingester = StreamIngester(batch_size=3, metrics=registry)
+        list(ingester.batches_from_records(records))
+        assert ingester.stats.n_lines == 7
+        assert ingester.stats.n_records == 7
+        assert ingester.stats.n_malformed == 0
+        assert registry.counter("rtg_ingest_lines_total").value() == 7
+
+
+class TestReaderJoinTimeout:
+    def test_invalid_join_timeout(self):
+        with pytest.raises(ValueError):
+            StreamIngester(batch_size=10, join_timeout=0)
+        ingester = StreamIngester(batch_size=10)
+        with pytest.raises(ValueError):
+            next(ingester.batches_pipelined(lines(5), join_timeout=-1))
+
+    def test_blocked_source_leak_is_logged_and_counted(self, caplog):
+        """A reader stuck inside the source cannot be joined; after
+        join_timeout the leak is reported instead of hanging close()."""
+        import logging
+        import threading
+        import time
+
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        forever = threading.Event()
+        entered = threading.Event()
+
+        def blocking_source():
+            yield from lines(10)
+            entered.set()
+            forever.wait()  # a socket read that never returns
+
+        ingester = StreamIngester(
+            batch_size=5, join_timeout=0.3, metrics=registry
+        )
+        gen = ingester.batches_pipelined(blocking_source(), prefetch=1)
+        assert len(next(gen)) == 5
+        # wait until the reader is actually stuck inside the source —
+        # closing earlier lets it notice the stop flag and exit cleanly
+        assert entered.wait(timeout=5.0)
+        start = time.monotonic()
+        with caplog.at_level(logging.WARNING, logger="repro.ingest"):
+            gen.close()
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0  # bounded by join_timeout, not forever
+        assert any("did not exit" in r.message for r in caplog.records)
+        assert (
+            registry.counter("rtg_ingest_reader_leaks_total").value() == 1
+        )
+        forever.set()  # release the leaked daemon thread
+
+    def test_fast_source_does_not_warn(self, caplog):
+        import logging
+
+        ingester = StreamIngester(batch_size=10, join_timeout=5.0)
+        with caplog.at_level(logging.WARNING, logger="repro.ingest"):
+            list(ingester.batches_pipelined(lines(25)))
+        assert not caplog.records
+
+
 class TestDriveStreamCleanup:
     def test_closing_the_driver_closes_the_source(self):
         """drive_stream propagates close() to the batches generator, so

@@ -1,0 +1,173 @@
+"""Graceful drain through the real CLI, real signals, real sockets.
+
+Satellite 6 of the serving-tier PR: ``serve`` must treat SIGTERM as a
+drain request on *both* paths — the network tier stops accepting and
+flushes its shard queues; the file-fed path stops consuming stdin and
+flushes the final partial batch.  Either way the process exits 0 and
+every accepted record is in the database.
+"""
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.patterndb import PatternDB
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    return str(tmp_path / "drain.db")
+
+
+def spawn_serve(db_path, extra_args, stdin=subprocess.DEVNULL):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "--db", db_path, "serve", *extra_args],
+        stdin=stdin,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def read_stderr_until(proc, substr, seen, timeout=30.0):
+    """Collect stderr lines into *seen* until one contains *substr*."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if line:
+            seen.append(line)
+            if substr in line:
+                return line
+        elif proc.poll() is not None:
+            break
+    raise AssertionError(
+        f"never saw {substr!r} on stderr; got: {''.join(seen)!r}"
+    )
+
+
+def record_lines(n, service="sshd"):
+    return [
+        json.dumps(
+            {
+                "service": service,
+                "message": f"session opened for user u{i} by uid {i}",
+            }
+        )
+        for i in range(n)
+    ]
+
+
+class TestNetworkDrain:
+    def test_sigterm_flushes_queues_and_exits_zero(self, db_path):
+        proc = spawn_serve(
+            db_path,
+            [
+                "--listen", "tcp://127.0.0.1:0",
+                "--batch-size", "1000",  # never fills: drain must flush
+                "--dispatch-timeout", "30",
+            ],
+        )
+        seen: list[str] = []
+        try:
+            line = read_stderr_until(proc, "listening:", seen)
+            addr = line.split("tcp://", 1)[1].strip()
+            host, port = addr.rsplit(":", 1)
+            payload = ("\n".join(record_lines(60)) + "\n").encode()
+            with socket.create_connection((host, int(port)), timeout=10) as sock:
+                sock.sendall(payload)
+            time.sleep(0.5)  # let the event loop enqueue everything
+            proc.send_signal(signal.SIGTERM)
+            stderr = "".join(seen) + proc.communicate(timeout=60)[1]
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, stderr
+        assert "60 accepted" in stderr
+        assert "60 records mined" in stderr
+        assert "0 shed" in stderr
+        with PatternDB(db_path) as db:
+            assert db.counts()["patterns"] >= 1
+
+    def test_sigterm_with_no_traffic_exits_zero(self, db_path):
+        proc = spawn_serve(db_path, ["--listen", "tcp://127.0.0.1:0"])
+        seen: list[str] = []
+        try:
+            read_stderr_until(proc, "listening:", seen)
+            proc.send_signal(signal.SIGTERM)
+            stderr = "".join(seen) + proc.communicate(timeout=60)[1]
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, stderr
+        assert "0 accepted" in stderr
+
+
+class TestFileFedDrain:
+    def test_sigterm_mid_batch_flushes_partial_batch(self, db_path):
+        """25 records into a batch of 10: two full batches mine, the
+        5-record partial batch must be flushed by the drain — not lost
+        with the process killed mid-read."""
+        proc = spawn_serve(
+            db_path, ["-", "--batch-size", "10"], stdin=subprocess.PIPE
+        )
+        seen: list[str] = []
+        try:
+            for line in record_lines(25):
+                proc.stdin.write(line + "\n")
+            proc.stdin.flush()
+            # both full batches mined -> the 5-record tail is pending
+            read_stderr_until(proc, "batch:", seen)
+            read_stderr_until(proc, "batch:", seen)
+            proc.send_signal(signal.SIGTERM)
+            read_stderr_until(proc, "drain: signal received", seen)
+            # the stop flag is polled at the next line: feed one trigger
+            # line (consumed, not mined) so the loop observes the drain
+            proc.stdin.write(record_lines(1)[0] + "\n")
+            proc.stdin.flush()
+            stderr = "".join(seen) + proc.stderr.read()
+            assert proc.wait(timeout=60) == 0, stderr
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdin.close()
+            proc.stdout.close()
+            proc.stderr.close()
+        assert "ingested 25 records" in stderr
+        assert "in 3 batches" in stderr  # 10 + 10 + the flushed 5
+        with PatternDB(db_path) as db:
+            assert db.counts()["patterns"] >= 1
+
+    def test_sigterm_stream_mode_closes_driver(self, db_path):
+        proc = spawn_serve(
+            db_path,
+            ["-", "--mode", "stream", "--micro-batch", "1"],
+            stdin=subprocess.PIPE,
+        )
+        seen: list[str] = []
+        try:
+            for line in record_lines(12):
+                proc.stdin.write(line + "\n")
+            proc.stdin.flush()
+            time.sleep(1.0)  # per-message micro-batches: all 12 offered
+            proc.send_signal(signal.SIGTERM)
+            read_stderr_until(proc, "drain: signal received", seen)
+            proc.stdin.write(record_lines(1)[0] + "\n")
+            proc.stdin.flush()
+            stderr = "".join(seen) + proc.stderr.read()
+            assert proc.wait(timeout=60) == 0, stderr
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdin.close()
+            proc.stdout.close()
+            proc.stderr.close()
+        assert "stream: 12 messages" in stderr
+        with PatternDB(db_path) as db:
+            assert db.counts()["patterns"] >= 1

@@ -1,0 +1,207 @@
+"""Shard router: sticky consistent hashing, bounded queues, policies.
+
+Satellite of the serving-tier PR: the routing tests pin the property
+the whole tier's bit-identity rests on — the network router shards by
+the *same* hash as the persistent pool, so moving ingest from a file to
+a socket never moves a service to a different worker.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.parallel import route_service, shard_records
+from repro.core.records import LogRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.router import OVERLOAD_POLICIES, ShardRouter
+from repro.workflow.stream import ProductionStream, StreamConfig
+
+
+def records_for_test(n=400, n_services=24, seed=11):
+    stream = ProductionStream(StreamConfig(n_services=n_services, seed=seed))
+    return list(stream.records(n))
+
+
+class TestStickyRouting:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 8])
+    def test_matches_pool_hash_for_production_services(self, n_shards):
+        """Same crc32 route as the worker pool, service by service."""
+        stream = ProductionStream(StreamConfig(n_services=40, seed=7))
+        router = ShardRouter(n_shards=n_shards, high_water=1000)
+        for service in stream.service_names:
+            assert router.shard_for(service) == route_service(service, n_shards)
+
+    def test_routing_is_stable_across_instances(self):
+        a = ShardRouter(n_shards=4, high_water=10)
+        b = ShardRouter(n_shards=4, high_water=99, policy="shed")
+        for service in ("sshd", "nginx", "postgres", "kernel"):
+            assert a.shard_for(service) == b.shard_for(service)
+
+    def test_skew_bound_over_production_services(self):
+        """crc32 spreads the synthetic fleet acceptably: no empty shard
+        and no shard hoarding more than half the services."""
+        stream = ProductionStream(StreamConfig(n_services=64, seed=3))
+        n_shards = 4
+        router = ShardRouter(n_shards=n_shards, high_water=1000)
+        per_shard = [0] * n_shards
+        for service in stream.service_names:
+            per_shard[router.shard_for(service)] += 1
+        assert all(count > 0 for count in per_shard)
+        assert max(per_shard) <= len(stream.service_names) // 2
+
+    def test_offer_lands_on_sticky_shard(self):
+        router = ShardRouter(n_shards=4, high_water=100)
+        records = records_for_test(n=50)
+        for record in records:
+            assert router.offer(record) == "accepted"
+        for index in range(4):
+            expected = sum(
+                1 for r in records if route_service(r.service, 4) == index
+            )
+            assert router.depth(index) == expected
+
+
+class TestTakeBatch:
+    def test_reproduces_file_fed_shard_splits(self):
+        """Consecutive take_batch(B) windows must equal the file path's
+        shard_records(records[k*B:(k+1)*B]) — the bit-identity seam."""
+        records = records_for_test(n=300)
+        n_shards, batch = 3, 100
+        router = ShardRouter(n_shards=n_shards, high_water=1000)
+        for record in records:
+            router.offer(record)
+        for k in range(3):
+            shards, taken = router.take_batch(batch)
+            assert taken == batch
+            window = records[k * batch:(k + 1) * batch]
+            assert shards == shard_records(window, n_shards)
+        assert router.total_queued == 0
+
+    def test_partial_batch_takes_oldest_first(self):
+        records = records_for_test(n=30)
+        router = ShardRouter(n_shards=2, high_water=100)
+        for record in records:
+            router.offer(record)
+        shards, taken = router.take_batch(10)
+        assert taken == 10
+        assert shards == shard_records(records[:10], 2)
+        assert router.total_queued == 20
+
+    def test_empty_router(self):
+        router = ShardRouter(n_shards=2, high_water=10)
+        shards, taken = router.take_batch(5)
+        assert taken == 0
+        assert shards == [[], []]
+
+
+class TestOverloadPolicies:
+    def full_router(self, policy, n=1, high_water=3):
+        router = ShardRouter(n_shards=n, high_water=high_water, policy=policy)
+        for i in range(high_water):
+            assert router.offer(LogRecord("svc", f"old {i}")) == "accepted"
+        return router
+
+    def test_block_refuses_without_enqueuing(self):
+        router = self.full_router("block")
+        assert router.offer(LogRecord("svc", "new")) == "blocked"
+        assert router.depth(0) == 3
+        assert router.shed_total == 0
+        # space frees -> the retry succeeds (what the handler loop does)
+        router.take_batch(1)
+        assert router.offer(LogRecord("svc", "new")) == "accepted"
+
+    def test_shed_refuses_newest(self):
+        router = self.full_router("shed")
+        assert router.offer(LogRecord("svc", "new")) == "shed"
+        assert router.shed_total == 1
+        shards, _ = router.take_batch(10)
+        assert [r.message for r in shards[0]] == ["old 0", "old 1", "old 2"]
+
+    def test_drop_oldest_evicts_front(self):
+        router = self.full_router("drop_oldest")
+        assert router.offer(LogRecord("svc", "new")) == "accepted"
+        assert router.shed_total == 1
+        assert router.depth(0) == 3
+        shards, _ = router.take_batch(10)
+        assert [r.message for r in shards[0]] == ["old 1", "old 2", "new"]
+
+    def test_high_water_is_per_shard(self):
+        router = ShardRouter(n_shards=4, high_water=2, policy="shed")
+        # find two services on different shards
+        names = [f"svc{i}" for i in range(64)]
+        a = next(s for s in names if route_service(s, 4) == 0)
+        b = next(s for s in names if route_service(s, 4) == 1)
+        for _ in range(2):
+            assert router.offer(LogRecord(a, "m")) == "accepted"
+        assert router.offer(LogRecord(a, "m")) == "shed"
+        assert router.offer(LogRecord(b, "m")) == "accepted"
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ShardRouter(n_shards=0, high_water=10)
+        with pytest.raises(ValueError):
+            ShardRouter(n_shards=1, high_water=0)
+        with pytest.raises(ValueError):
+            ShardRouter(n_shards=1, high_water=10, policy="panic")
+        assert OVERLOAD_POLICIES == ("block", "shed", "drop_oldest")
+
+
+class TestWaiting:
+    def test_wait_for_returns_when_count_reached(self):
+        router = ShardRouter(n_shards=1, high_water=100)
+
+        def feed():
+            time.sleep(0.05)
+            for i in range(5):
+                router.offer(LogRecord("svc", f"m{i}"))
+
+        thread = threading.Thread(target=feed)
+        thread.start()
+        total = router.wait_for(5, timeout=5.0)
+        thread.join()
+        assert total == 5
+
+    def test_wait_for_times_out(self):
+        router = ShardRouter(n_shards=1, high_water=100)
+        router.offer(LogRecord("svc", "m"))
+        start = time.monotonic()
+        total = router.wait_for(10, timeout=0.1)
+        assert time.monotonic() - start < 2.0
+        assert total == 1
+
+    def test_notify_interrupts_waiter(self):
+        """The drain signal must not let the dispatcher sleep out its
+        deadline — notify() returns the wait immediately."""
+        router = ShardRouter(n_shards=1, high_water=100)
+        woke = threading.Event()
+
+        def wait():
+            router.wait_for(10, timeout=30.0)
+            woke.set()
+
+        thread = threading.Thread(target=wait, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        router.notify()
+        assert woke.wait(timeout=5.0)
+        thread.join(timeout=5.0)
+
+
+class TestMetrics:
+    def test_counters_and_gauge_published(self):
+        registry = MetricsRegistry()
+        router = ShardRouter(
+            n_shards=1, high_water=2, policy="shed", metrics=registry
+        )
+        router.offer(LogRecord("svc", "a"))
+        router.offer(LogRecord("svc", "b"))
+        router.offer(LogRecord("svc", "c"))  # shed
+        accepted = registry.counter("rtg_serve_accepted_total")
+        shed = registry.counter("rtg_serve_shed_total")
+        depth = registry.gauge("rtg_serve_queue_depth")
+        assert accepted.value(shard="0") == 2
+        assert shed.value(shard="0", policy="shed") == 1
+        assert depth.value(shard="0") == 2
+        router.take_batch(10)
+        assert depth.value(shard="0") == 0
